@@ -1,0 +1,224 @@
+// Package main_test is the benchmark harness that regenerates every
+// table and figure of the DBI paper's evaluation (Section 6). Each
+// benchmark runs one experiment end-to-end on the laptop-scale
+// configuration and reports the paper's headline quantity as a custom
+// metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. The benchmarks default to quick
+// sweeps; set DBI_BENCH_FULL=1 for the full sweep sizes. EXPERIMENTS.md
+// records paper-vs-measured values for every experiment.
+package main_test
+
+import (
+	"os"
+	"testing"
+
+	"dbisim/internal/config"
+	"dbisim/internal/experiments"
+)
+
+func opts() experiments.Options {
+	return experiments.Options{
+		Quick: os.Getenv("DBI_BENCH_FULL") == "",
+		Seed:  42,
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6: the five single-core series (IPC,
+// write row hit rate, tag lookups PKI, memory writes PKI, read row hit
+// rate) over 14 benchmarks × 7 mechanisms.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := res.GMeanIPC[config.TADIP]
+		b.ReportMetric(res.GMeanIPC[config.DBIAWBCLB]/base-1, "IPCgain-vs-TADIP")
+		b.ReportMetric(res.MeanWRHR[config.TADIP], "writeRHR-TADIP")
+		b.ReportMetric(res.MeanWRHR[config.DBIAWB], "writeRHR-DBI+AWB")
+		b.ReportMetric(res.MeanTagPKI[config.DAWB]/res.MeanTagPKI[config.TADIP], "tagPKI-DAWB/TADIP")
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: multi-core weighted speedup for
+// 2/4/8-core systems under 7 mechanisms.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Improvement(8, config.DBIAWBCLB), "WSgain-8core")
+		b.ReportMetric(res.Improvement(4, config.DBIAWBCLB), "WSgain-4core")
+		b.ReportMetric(res.Improvement(2, config.DBIAWBCLB), "WSgain-2core")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: the per-workload 4-core S-curve of
+// normalized weighted speedups.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		curve := res.Normalized[config.DBIAWBCLB]
+		wins := 0
+		for i, v := range curve {
+			if v >= res.Normalized[config.DAWB][i] {
+				wins++
+			}
+		}
+		b.ReportMetric(float64(wins)/float64(len(curve)), "frac-DBI>=DAWB")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: performance and fairness metrics
+// of DBI+AWB+CLB vs the baseline.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WSImprovement[8], "WSgain-8core")
+		b.ReportMetric(res.HSImprovement[8], "HSgain-8core")
+		b.ReportMetric(res.MSReduction[8], "MaxSlowdown-reduction")
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: bit-storage cost reduction of the
+// DBI organization with and without ECC.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table4(opts())
+		b.ReportMetric(rows[0].TagReductionECC, "tag-reduction-ECC-quarter")
+		b.ReportMetric(rows[0].CacheReductionECC, "cache-reduction-ECC-quarter")
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: DBI power as a fraction of cache
+// power across cache sizes.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table5(opts())
+		b.ReportMetric(rows[3].StaticFraction, "static-frac-16MB")
+		b.ReportMetric(rows[3].DynamicFraction, "dynamic-frac-16MB")
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6: AWB sensitivity to DBI size and
+// granularity.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table6(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Improvement at α=1/2, granularity 128 (the paper's best cell).
+		b.ReportMetric(res.Improvement[1][3], "best-cell-IPCgain")
+		b.ReportMetric(res.Improvement[0][0], "smallest-cell-IPCgain")
+	}
+}
+
+// BenchmarkTable7 regenerates Table 7: the effect of LLC capacity on the
+// multi-core improvement.
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table7(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Improvement[1<<20][8], "WSgain-8core-1MBper")
+		b.ReportMetric(res.Improvement[2<<20][8], "WSgain-8core-2MBper")
+	}
+}
+
+// BenchmarkCaseStudy regenerates the Section-6.2 GemsFDTD+libquantum
+// study.
+func BenchmarkCaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CaseStudy(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := res.WS[config.Baseline]
+		b.ReportMetric(res.WS[config.DBI]/base-1, "DBI-WSgain")
+		b.ReportMetric(res.WS[config.DAWB]/base-1, "DAWB-WSgain")
+	}
+}
+
+// BenchmarkDBIPolicy regenerates the Section-4.3 replacement-policy
+// comparison.
+func BenchmarkDBIPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DBIPolicy(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GMeanIPC[config.DBILRW], "LRW-gmeanIPC")
+	}
+}
+
+// BenchmarkCLBSensitivity regenerates the Section-6.4 CLB parameter
+// sweep.
+func BenchmarkCLBSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CLBSensitivity(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Spread, "IPC-spread")
+	}
+}
+
+// BenchmarkDRRIP regenerates the Section-6.5 DRRIP interaction check.
+func BenchmarkDRRIP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DRRIP(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WSDBI/res.WSDAWB-1, "DBIvsDAWB-WSgain")
+	}
+}
+
+// BenchmarkFlushLatency measures the Section-7 cache-flush application:
+// the DBI's compact dirty record versus a full tag-store walk.
+func BenchmarkFlushLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Flush(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup, "flush-speedup")
+	}
+}
+
+// BenchmarkAreaPower regenerates the Section-6.3 area and DRAM-energy
+// claims.
+func BenchmarkAreaPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AreaPower(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AreaReductionQuarter, "area-reduction-quarter")
+		b.ReportMetric(res.DRAMEnergyReduction, "DRAM-energy-reduction")
+	}
+}
+
+// BenchmarkAblation sweeps the secondary design choices (write-buffer
+// depth, drain watermark, DBI associativity) DESIGN.md calls out.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WBufWriteRHR[256]-res.WBufWriteRHR[16], "wRHR-gain-16to256-buf")
+	}
+}

@@ -1,0 +1,71 @@
+// Command dbibench regenerates the tables and figures of the DBI paper's
+// evaluation (Section 6) on the laptop-scale configuration.
+//
+// Usage:
+//
+//	dbibench -experiment fig6          # one experiment
+//	dbibench -experiment all -full     # everything, full sweep sizes
+//
+// Experiments: fig6, fig7, fig8, tab3, tab4, tab5, tab6, tab7,
+// casestudy, dbipolicy, clbsens, drrip, area, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dbisim/internal/experiments"
+)
+
+func main() {
+	var (
+		name = flag.String("experiment", "all", "experiment id (fig6, fig7, fig8, tab3..tab7, casestudy, dbipolicy, clbsens, drrip, area, all)")
+		full = flag.Bool("full", false, "full sweep sizes instead of quick mode")
+		seed = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed}
+
+	runners := []struct {
+		id  string
+		run func() error
+	}{
+		{"fig6", func() error { _, err := experiments.Fig6(o); return err }},
+		{"fig7", func() error { _, err := experiments.Fig7(o); return err }},
+		{"fig8", func() error { _, err := experiments.Fig8(o); return err }},
+		{"tab3", func() error { _, err := experiments.Table3(o); return err }},
+		{"tab4", func() error { experiments.Table4(o); return nil }},
+		{"tab5", func() error { experiments.Table5(o); return nil }},
+		{"tab6", func() error { _, err := experiments.Table6(o); return err }},
+		{"tab7", func() error { _, err := experiments.Table7(o); return err }},
+		{"casestudy", func() error { _, err := experiments.CaseStudy(o); return err }},
+		{"dbipolicy", func() error { _, err := experiments.DBIPolicy(o); return err }},
+		{"clbsens", func() error { _, err := experiments.CLBSensitivity(o); return err }},
+		{"drrip", func() error { _, err := experiments.DRRIP(o); return err }},
+		{"area", func() error { _, err := experiments.AreaPower(o); return err }},
+		{"flushlat", func() error { _, err := experiments.Flush(o); return err }},
+		{"ablation", func() error { _, err := experiments.Ablation(o); return err }},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *name != "all" && *name != r.id {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Printf("\n===== %s =====\n", r.id)
+		if err := r.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *name)
+		os.Exit(2)
+	}
+}

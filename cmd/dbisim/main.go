@@ -1,0 +1,115 @@
+// Command dbisim runs one simulated configuration and prints its
+// statistics: per-core IPC/MPKI, DRAM row hit rates, tag-lookup and
+// memory-write rates — the quantities Figure 6 of the DBI paper reports.
+//
+// Usage:
+//
+//	dbisim -mech DBI+AWB+CLB -bench lbm
+//	dbisim -cores 2 -bench GemsFDTD,libquantum -mech DAWB -paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbisim/internal/config"
+	"dbisim/internal/system"
+	"dbisim/internal/trace"
+)
+
+func parseMech(s string) (config.Mechanism, error) {
+	for _, m := range config.AllMechanisms() {
+		if strings.EqualFold(m.String(), s) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mechanism %q (want one of %v)", s, config.AllMechanisms())
+}
+
+func main() {
+	var (
+		mechName = flag.String("mech", "DBI+AWB+CLB", "LLC mechanism (Baseline, TA-DIP, DAWB, VWQ, SkipCache, DBI, DBI+AWB, DBI+CLB, DBI+AWB+CLB)")
+		benches  = flag.String("bench", "stream", "comma-separated benchmark per core")
+		cores    = flag.Int("cores", 0, "core count (default: number of benchmarks)")
+		paper    = flag.Bool("paper", false, "use the full Table-1 configuration instead of the scaled one")
+		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per core")
+		measure  = flag.Uint64("measure", 0, "override measured instructions per core")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		list     = flag.Bool("list", false, "list benchmark models and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range trace.Benchmarks() {
+			p, _ := trace.ByName(n)
+			fmt.Printf("%-12s footprint=%dMB mem=%.2f store=%.2f read=%s write=%s\n",
+				n, p.FootprintBytes>>20, p.MemFraction, p.StoreFraction,
+				p.ReadIntensity, p.WriteIntensity)
+		}
+		return
+	}
+
+	mech, err := parseMech(*mechName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	names := strings.Split(*benches, ",")
+	n := *cores
+	if n == 0 {
+		n = len(names)
+	}
+	for len(names) < n {
+		names = append(names, names[len(names)-1])
+	}
+	names = names[:n]
+
+	var cfg config.SystemConfig
+	if *paper {
+		cfg = config.Paper(n, mech)
+	} else {
+		cfg = config.Scaled(n, mech)
+	}
+	if *warmup > 0 {
+		cfg.WarmupInstructions = *warmup
+	}
+	if *measure > 0 {
+		cfg.MeasureInstructions = *measure
+	}
+
+	sys, err := system.New(cfg, names, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r := sys.Run()
+
+	fmt.Printf("mechanism     %s\n", r.Mechanism)
+	fmt.Printf("cores         %d\n", n)
+	for i, c := range r.PerCore {
+		fmt.Printf("core %d        %-12s IPC=%.4f cycles=%d MPKI=%.2f L1hit=%.3f\n",
+			i, c.Bench, c.IPC, c.Cycles, c.MPKI, c.L1HitRate)
+	}
+	fmt.Printf("write RHR     %.3f\n", r.WriteRowHitRate)
+	fmt.Printf("read RHR      %.3f\n", r.ReadRowHitRate)
+	fmt.Printf("tag PKI       %.2f\n", r.TagLookupsPKI)
+	fmt.Printf("mem WPKI      %.2f\n", r.MemWritesPKI)
+	fmt.Printf("mem RPKI      %.2f\n", r.MemReadsPKI)
+	fmt.Printf("LLC MPKI      %.2f\n", r.LLCMPKI)
+	fmt.Printf("bypasses      %d\n", r.Bypasses)
+	fmt.Printf("filler lkups  %d\n", r.FillerLookups)
+	fmt.Printf("DBI evicts    %d\n", r.DBIEvictions)
+	fmt.Printf("avg read lat  %.1f\n", r.AvgReadLatency)
+	fmt.Printf("drains        %d\n", r.DrainsStarted)
+	st := &sys.LLC.Stat
+	fmt.Printf("wb reqs       %d\n", st.WritebackReqs.Value())
+	fmt.Printf("victim WBs    %d\n", st.VictimWBs.Value())
+	fmt.Printf("proactive WBs %d\n", st.ProactiveWBs.Value())
+	fmt.Printf("dbi-evict WBs %d\n", st.DBIEvictionWBs.Value())
+	if sys.LLC.DBI != nil {
+		fmt.Printf("dbi writes    %d\n", sys.LLC.DBI.Stat.Writes.Value())
+		fmt.Printf("dirty/evict   %.2f\n", sys.LLC.DBI.Stat.DirtyAtEviction.Mean())
+	}
+}

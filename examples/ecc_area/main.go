@@ -1,0 +1,58 @@
+// ECC area: the heterogeneous-ECC optimization of Section 3.3.
+//
+// Only dirty blocks need error *correction* — a clean block that fails
+// its error *detection* check can be re-fetched from memory. Because the
+// DBI is the authoritative record of dirty blocks, full SECDED ECC is
+// needed only for the blocks the DBI tracks, and every block keeps just
+// a parity EDC. This example reproduces Table 4 (bit storage) and the
+// Section-6.3 area claims with the analytical SRAM model.
+//
+// Run with: go run ./examples/ecc_area
+package main
+
+import (
+	"fmt"
+
+	"dbisim/internal/areamodel"
+	"dbisim/internal/config"
+)
+
+func main() {
+	bits := areamodel.DefaultBits()
+	sram := areamodel.DefaultSRAM()
+	cfg := config.PaperWithL3PerCore(8, config.DBIAWBCLB, 2<<20) // 16MB LLC
+
+	fmt.Printf("cache: %dMB, %d-way, %d blocks\n",
+		cfg.L3.SizeBytes>>20, cfg.L3.Ways, cfg.L3.Blocks())
+	fmt.Printf("SECDED per block: %d bits (12.5%%); parity EDC: %d bits (1.6%%)\n\n",
+		bits.SECDEDBitsPerBlock(), bits.ParityBitsPerBlock())
+
+	conv := bits.Conventional(cfg.L3, true)
+	fmt.Printf("conventional (ECC on every block): tag store %.2f Mbit, total %.2f Mbit\n",
+		float64(conv.TagStoreBits)/1e6, float64(conv.TotalBits())/1e6)
+
+	for _, alpha := range [][2]int{{1, 4}, {1, 2}} {
+		d := cfg.DBI
+		d.AlphaNum, d.AlphaDen = alpha[0], alpha[1]
+		org := bits.WithDBI(cfg.L3, d, true)
+		fmt.Printf("DBI α=%d/%d (EDC everywhere, ECC only for tracked blocks):\n",
+			alpha[0], alpha[1])
+		fmt.Printf("  tag store %.2f Mbit, DBI+ECC %.2f Mbit, total %.2f Mbit\n",
+			float64(org.TagStoreBits)/1e6, float64(org.DBIBits)/1e6,
+			float64(org.TotalBits())/1e6)
+		fmt.Printf("  area: %.2f mm² vs %.2f mm² conventional (-%.1f%%)\n",
+			sram.AreaMM2(org.TotalBits()), sram.AreaMM2(conv.TotalBits()),
+			100*areamodel.CacheAreaReduction(bits, sram, cfg.L3, d))
+	}
+
+	fmt.Println("\nTable 4 (bit storage reduction):")
+	for _, row := range areamodel.Table4(bits, cfg.L3, cfg.DBI) {
+		fmt.Println(" ", row)
+	}
+
+	fmt.Println("\nTable 5 (DBI power as fraction of cache power):")
+	for _, r := range areamodel.Table5(bits, sram, cfg.DBI, 3) {
+		fmt.Printf("  %2dMB  static %.2f%%  dynamic %.1f%%\n",
+			r.CacheBytes>>20, 100*r.StaticFraction, 100*r.DynamicFraction)
+	}
+}

@@ -1,0 +1,3 @@
+module dbisim
+
+go 1.22

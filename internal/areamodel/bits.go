@@ -1,0 +1,183 @@
+// Package areamodel provides the storage, area, power and energy models
+// behind Section 6.3 of the DBI paper: exact bit counts for the tag
+// store, data store, ECC and the DBI (Table 4), an analytical SRAM
+// area/power model standing in for CACTI (Table 5 and the 8% area
+// claim), and a DRAM energy model standing in for the Micron power
+// calculator (the 14% memory-energy reduction).
+package areamodel
+
+import (
+	"fmt"
+
+	"dbisim/internal/config"
+)
+
+// BitParams fixes the word sizes behind every bit count.
+type BitParams struct {
+	PhysAddrBits int // physical address width (40 in our model)
+	BlockBytes   int
+	// SECDEDBitsPerWord is the ECC overhead per 64-bit word (8 for the
+	// standard (72,64) SECDED code -> 12.5%).
+	SECDEDBitsPerWord int
+	// ParityBitsPerWord is the EDC overhead per 64-bit word (1 -> ~1.5%).
+	ParityBitsPerWord int
+	// DRAMRowBytes sizes the DBI row tag (log2 of the number of rows).
+	DRAMRowBytes int
+}
+
+// DefaultBits returns the parameters used throughout the paper's
+// evaluation.
+func DefaultBits() BitParams {
+	return BitParams{
+		PhysAddrBits:      40,
+		BlockBytes:        64,
+		SECDEDBitsPerWord: 8,
+		ParityBitsPerWord: 1,
+		DRAMRowBytes:      8 << 10,
+	}
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// TagEntryBits returns the bits of one conventional tag entry:
+// tag + valid (+ dirty when withDirty) + replacement state.
+func (p BitParams) TagEntryBits(c config.CacheParams, withDirty bool) int {
+	offsetBits := log2(uint64(p.BlockBytes))
+	setBits := log2(uint64(c.Sets()))
+	tag := p.PhysAddrBits - offsetBits - setBits
+	repl := log2(uint64(c.Ways)) // LRU rank
+	bits := tag + 1 + repl
+	if withDirty {
+		bits++
+	}
+	return bits
+}
+
+// DataBits returns the data-array bits per block.
+func (p BitParams) DataBits() int { return p.BlockBytes * 8 }
+
+// SECDEDBitsPerBlock returns full ECC bits per block.
+func (p BitParams) SECDEDBitsPerBlock() int {
+	return p.BlockBytes / 8 * p.SECDEDBitsPerWord
+}
+
+// ParityBitsPerBlock returns EDC bits per block.
+func (p BitParams) ParityBitsPerBlock() int {
+	return p.BlockBytes / 8 * p.ParityBitsPerWord
+}
+
+// DBIEntryBits returns the bits of one DBI entry: valid + row tag +
+// dirty bit vector.
+func (p BitParams) DBIEntryBits(d config.DBIParams, entries int) int {
+	rows := uint64(1) << uint(p.PhysAddrBits-log2(uint64(p.DRAMRowBytes)))
+	regions := rows * uint64(p.DRAMRowBytes/p.BlockBytes/d.Granularity)
+	sets := entries / d.Associativity
+	if sets < 1 {
+		sets = 1
+	}
+	tag := log2(regions) - log2(uint64(sets))
+	return 1 + tag + d.Granularity
+}
+
+// Organization totals the storage of one cache organization.
+type Organization struct {
+	TagStoreBits uint64 // tag entries plus any ECC/EDC metadata
+	DataBits     uint64
+	DBIBits      uint64
+}
+
+// TotalBits sums all storage.
+func (o Organization) TotalBits() uint64 { return o.TagStoreBits + o.DataBits + o.DBIBits }
+
+// Conventional returns the storage of the baseline cache; withECC adds
+// SECDED for every block (stored with the tags, as the paper assumes).
+func (p BitParams) Conventional(c config.CacheParams, withECC bool) Organization {
+	blocks := uint64(c.Blocks())
+	entry := uint64(p.TagEntryBits(c, true))
+	if withECC {
+		entry += uint64(p.SECDEDBitsPerBlock())
+	}
+	return Organization{
+		TagStoreBits: blocks * entry,
+		DataBits:     blocks * uint64(p.DataBits()),
+	}
+}
+
+// WithDBI returns the storage of a DBI-augmented cache: dirty bits leave
+// the tag entries, the DBI is added, and with ECC enabled every block
+// keeps only parity EDC while full SECDED covers only the blocks the DBI
+// tracks (Figure 5).
+func (p BitParams) WithDBI(c config.CacheParams, d config.DBIParams, withECC bool) Organization {
+	blocks := uint64(c.Blocks())
+	entry := uint64(p.TagEntryBits(c, false))
+	entries := uint64(d.Entries(c.Blocks()))
+	dbiBits := entries * uint64(p.DBIEntryBits(d, int(entries)))
+	if withECC {
+		entry += uint64(p.ParityBitsPerBlock())
+		tracked := entries * uint64(d.Granularity)
+		dbiBits += tracked * uint64(p.SECDEDBitsPerBlock())
+	}
+	return Organization{
+		TagStoreBits: blocks * entry,
+		DataBits:     blocks * uint64(p.DataBits()),
+		DBIBits:      dbiBits,
+	}
+}
+
+// Reduction returns the fractional saving of new relative to old
+// (positive = new is smaller).
+func Reduction(old, new uint64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 1 - float64(new)/float64(old)
+}
+
+// Table4Row is one row of the paper's Table 4.
+type Table4Row struct {
+	AlphaNum, AlphaDen int
+	// Without ECC.
+	TagReduction   float64
+	CacheReduction float64
+	// With ECC (ECC counted in the tag store, as the paper footnotes).
+	TagReductionECC   float64
+	CacheReductionECC float64
+}
+
+// Table4 reproduces the paper's Table 4 for the given cache geometry.
+func Table4(p BitParams, c config.CacheParams, d config.DBIParams) []Table4Row {
+	var out []Table4Row
+	for _, alpha := range [][2]int{{1, 4}, {1, 2}} {
+		dd := d
+		dd.AlphaNum, dd.AlphaDen = alpha[0], alpha[1]
+		row := Table4Row{AlphaNum: alpha[0], AlphaDen: alpha[1]}
+
+		conv := p.Conventional(c, false)
+		dbi := p.WithDBI(c, dd, false)
+		row.TagReduction = Reduction(conv.TagStoreBits, dbi.TagStoreBits+dbi.DBIBits)
+		row.CacheReduction = Reduction(conv.TotalBits(), dbi.TotalBits())
+
+		convE := p.Conventional(c, true)
+		dbiE := p.WithDBI(c, dd, true)
+		row.TagReductionECC = Reduction(convE.TagStoreBits, dbiE.TagStoreBits+dbiE.DBIBits)
+		row.CacheReductionECC = Reduction(convE.TotalBits(), dbiE.TotalBits())
+
+		out = append(out, row)
+	}
+	return out
+}
+
+// String renders the row like the paper's table.
+func (r Table4Row) String() string {
+	return fmt.Sprintf("α=%d/%d  tag %.0f%%  cache %.1f%%  |  ECC: tag %.0f%%  cache %.0f%%",
+		r.AlphaNum, r.AlphaDen,
+		100*r.TagReduction, 100*r.CacheReduction,
+		100*r.TagReductionECC, 100*r.CacheReductionECC)
+}

@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"testing"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+)
+
+func benchCache(b *testing.B) *Cache {
+	b.Helper()
+	c, err := New(config.CacheParams{
+		SizeBytes: 2 << 20, Ways: 16, BlockSize: 64,
+		TagLatency: 10, DataLatency: 24, SerialTagData: true,
+		Replacement: config.ReplTADIP,
+	}, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkAccessHit measures the demand-hit path.
+func BenchmarkAccessHit(b *testing.B) {
+	c := benchCache(b)
+	for i := 0; i < 1024; i++ {
+		c.Insert(addr.BlockAddr(i), 0, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addr.BlockAddr(i&1023), 0)
+	}
+}
+
+// BenchmarkInsertEvict measures the fill+eviction path under pressure.
+func BenchmarkInsertEvict(b *testing.B) {
+	c := benchCache(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(addr.BlockAddr(i*13), 0, i&1 == 0)
+	}
+}

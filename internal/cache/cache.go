@@ -1,0 +1,239 @@
+// Package cache implements the structural model of a set-associative
+// cache: the tag store, replacement bookkeeping, MSHRs and a contended
+// tag port. Timing and inter-level protocol live in the llc and system
+// packages; this package answers "what is in the cache and what gets
+// evicted", cycle-free.
+//
+// The DBI paper's mechanisms differ in where the dirty bit lives: the
+// conventional organizations keep it in the tag entry (Dirty on Block),
+// while DBI-augmented caches leave Block.Dirty unused and consult the
+// Dirty-Block Index instead.
+package cache
+
+import (
+	"fmt"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+	"dbisim/internal/replacement"
+	"dbisim/internal/stats"
+)
+
+// Block is one tag-store entry.
+type Block struct {
+	Valid  bool
+	Addr   addr.BlockAddr // full block address (tag + index)
+	Dirty  bool           // unused when a DBI owns dirty state
+	Thread int            // inserting thread (for TA-DIP and stats)
+}
+
+// Stats counts tag-store activity. TagLookups is the quantity Figure 6c
+// reports per kilo-instruction.
+type Stats struct {
+	TagLookups stats.Counter // every tag-store access, demand or filler
+	Hits       stats.Counter
+	Misses     stats.Counter
+	Inserts    stats.Counter
+	Evictions  stats.Counter
+	DirtyEvict stats.Counter
+	Writebacks stats.Counter // dirty blocks handed to the next level
+}
+
+// Cache is the structural model.
+type Cache struct {
+	params config.CacheParams
+	sets   int
+	ways   int
+	blocks []Block
+	policy replacement.Policy
+
+	// Stats is exported for the owning level to read.
+	Stats Stats
+}
+
+// New builds a cache from validated parameters. threads sizes the
+// thread-aware policies; seed fixes their random components.
+func New(p config.CacheParams, threads int, seed int64) (*Cache, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	kind := replacement.KindLRU
+	switch p.Replacement {
+	case config.ReplLRU:
+		kind = replacement.KindLRU
+	case config.ReplTADIP:
+		kind = replacement.KindTADIP
+	case config.ReplDRRIP:
+		kind = replacement.KindDRRIP
+	default:
+		return nil, fmt.Errorf("cache: unknown replacement kind %v", p.Replacement)
+	}
+	pol, err := replacement.New(kind, replacement.Config{
+		Sets: p.Sets(), Ways: p.Ways, Threads: threads, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		params: p,
+		sets:   p.Sets(),
+		ways:   p.Ways,
+		blocks: make([]Block, p.Sets()*p.Ways),
+		policy: pol,
+	}, nil
+}
+
+// Params returns the configured parameters.
+func (c *Cache) Params() config.CacheParams { return c.params }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SetOf maps a block address to its set index.
+func (c *Cache) SetOf(b addr.BlockAddr) int {
+	return int(uint64(b) & uint64(c.sets-1))
+}
+
+// at returns the block in (set, way).
+func (c *Cache) at(set, way int) *Block { return &c.blocks[set*c.ways+way] }
+
+// BlockAt exposes the tag entry at (set, way) for diagnostics and for
+// mechanisms (VWQ, DAWB) that scan sets.
+func (c *Cache) BlockAt(set, way int) Block { return *c.at(set, way) }
+
+// find locates a block without touching statistics or recency.
+func (c *Cache) find(b addr.BlockAddr) (way int, ok bool) {
+	set := c.SetOf(b)
+	for w := 0; w < c.ways; w++ {
+		blk := c.at(set, w)
+		if blk.Valid && blk.Addr == b {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports block presence without counting a tag lookup; it is
+// the oracle used by tests and by the DBI's consistency checks.
+func (c *Cache) Contains(b addr.BlockAddr) bool {
+	_, ok := c.find(b)
+	return ok
+}
+
+// Lookup performs a tag-store lookup (counted) without updating recency.
+// Mechanisms that scan for dirty row-mates (DAWB) use this.
+func (c *Cache) Lookup(b addr.BlockAddr) (way int, hit bool) {
+	c.Stats.TagLookups.Inc()
+	return c.find(b)
+}
+
+// Access performs a demand access: a counted tag lookup that updates
+// recency on a hit and dueling state on a miss.
+func (c *Cache) Access(b addr.BlockAddr, thread int) (hit bool) {
+	c.Stats.TagLookups.Inc()
+	set := c.SetOf(b)
+	if way, ok := c.find(b); ok {
+		c.policy.Touch(set, way)
+		c.Stats.Hits.Inc()
+		return true
+	}
+	c.policy.OnMiss(set, thread)
+	c.Stats.Misses.Inc()
+	return false
+}
+
+// Touch promotes a resident block without a counted lookup (used when the
+// lookup cost was already paid by the caller in the same operation).
+func (c *Cache) Touch(b addr.BlockAddr) {
+	if way, ok := c.find(b); ok {
+		c.policy.Touch(c.SetOf(b), way)
+	}
+}
+
+// Insert fills a block, returning the evicted victim (Valid=false when an
+// invalid way was used). The caller decides what to do with a dirty
+// victim (writeback) and with the victim's DBI state.
+func (c *Cache) Insert(b addr.BlockAddr, thread int, dirty bool) (victim Block) {
+	set := c.SetOf(b)
+	if way, ok := c.find(b); ok {
+		// Already present: refresh dirty/thread state only.
+		blk := c.at(set, way)
+		blk.Dirty = blk.Dirty || dirty
+		return Block{}
+	}
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.at(set, w).Valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = c.policy.Victim(set)
+		victim = *c.at(set, way)
+		c.Stats.Evictions.Inc()
+		if victim.Dirty {
+			c.Stats.DirtyEvict.Inc()
+		}
+	}
+	*c.at(set, way) = Block{Valid: true, Addr: b, Dirty: dirty, Thread: thread}
+	c.policy.Insert(set, way, thread)
+	c.Stats.Inserts.Inc()
+	return victim
+}
+
+// Invalidate removes a block if present and returns its prior state.
+func (c *Cache) Invalidate(b addr.BlockAddr) (old Block, ok bool) {
+	way, ok := c.find(b)
+	if !ok {
+		return Block{}, false
+	}
+	set := c.SetOf(b)
+	old = *c.at(set, way)
+	*c.at(set, way) = Block{}
+	return old, true
+}
+
+// SetDirty marks a resident block dirty (conventional organization).
+// It reports whether the block was found.
+func (c *Cache) SetDirty(b addr.BlockAddr, dirty bool) bool {
+	way, ok := c.find(b)
+	if !ok {
+		return false
+	}
+	c.at(c.SetOf(b), way).Dirty = dirty
+	return true
+}
+
+// IsDirty reports the tag-entry dirty bit (conventional organization),
+// without counting a lookup.
+func (c *Cache) IsDirty(b addr.BlockAddr) bool {
+	way, ok := c.find(b)
+	return ok && c.at(c.SetOf(b), way).Dirty
+}
+
+// DirtyBlocks returns the addresses of all dirty blocks (test oracle and
+// cache-flush support).
+func (c *Cache) DirtyBlocks() []addr.BlockAddr {
+	var out []addr.BlockAddr
+	for i := range c.blocks {
+		if c.blocks[i].Valid && c.blocks[i].Dirty {
+			out = append(out, c.blocks[i].Addr)
+		}
+	}
+	return out
+}
+
+// CountValid returns the number of valid blocks (diagnostics).
+func (c *Cache) CountValid() int {
+	n := 0
+	for i := range c.blocks {
+		if c.blocks[i].Valid {
+			n++
+		}
+	}
+	return n
+}

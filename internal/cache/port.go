@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"dbisim/internal/event"
+	"dbisim/internal/stats"
+)
+
+// Port models a contended, non-pipelined lookup port (the shared L3 tag
+// store port in the paper). Operations occupy the port for their full
+// duration; queued demand operations always dispatch before queued
+// background (filler) operations, but an operation in flight is never
+// preempted — exactly the arbitration footnote 4 of the paper describes
+// for aggressive-writeback lookups.
+type Port struct {
+	Eng *event.Engine
+
+	busy       bool
+	demand     []portOp
+	background []portOp
+
+	// Stats for contention analysis.
+	BusyCycles    stats.Counter
+	DemandOps     stats.Counter
+	BackgroundOps stats.Counter
+	QueueDelay    stats.Counter // summed cycles ops waited before dispatch
+}
+
+type portOp struct {
+	dur      event.Cycle
+	enqueued event.Cycle
+	done     func()
+}
+
+// Submit queues an operation of the given duration. done runs when the
+// operation completes. Background ops yield to demand ops at dispatch.
+func (p *Port) Submit(background bool, dur event.Cycle, done func()) {
+	op := portOp{dur: dur, enqueued: p.Eng.Now(), done: done}
+	if background {
+		p.background = append(p.background, op)
+	} else {
+		p.demand = append(p.demand, op)
+	}
+	p.dispatch()
+}
+
+// QueueLen reports queued (not in-flight) operations.
+func (p *Port) QueueLen() int { return len(p.demand) + len(p.background) }
+
+// Busy reports whether an operation is in flight.
+func (p *Port) Busy() bool { return p.busy }
+
+func (p *Port) dispatch() {
+	if p.busy {
+		return
+	}
+	var op portOp
+	switch {
+	case len(p.demand) > 0:
+		op = p.demand[0]
+		copy(p.demand, p.demand[1:])
+		p.demand = p.demand[:len(p.demand)-1]
+		p.DemandOps.Inc()
+	case len(p.background) > 0:
+		op = p.background[0]
+		copy(p.background, p.background[1:])
+		p.background = p.background[:len(p.background)-1]
+		p.BackgroundOps.Inc()
+	default:
+		return
+	}
+	p.busy = true
+	p.QueueDelay.Add(uint64(p.Eng.Now() - op.enqueued))
+	p.BusyCycles.Add(uint64(op.dur))
+	p.Eng.ScheduleAfter(op.dur, func() {
+		p.busy = false
+		if op.done != nil {
+			op.done()
+		}
+		p.dispatch()
+	})
+}
+
+// MSHR tracks outstanding misses so that requests to the same block merge
+// instead of issuing duplicate fills.
+type MSHR struct {
+	capacity int
+	pending  map[uint64][]func()
+}
+
+// NewMSHR returns an MSHR file with the given capacity.
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{capacity: capacity, pending: make(map[uint64][]func())}
+}
+
+// Len reports outstanding entries.
+func (m *MSHR) Len() int { return len(m.pending) }
+
+// Full reports whether a new (non-merging) allocation would exceed
+// capacity.
+func (m *MSHR) Full() bool { return len(m.pending) >= m.capacity }
+
+// Register adds a waiter for a block. It reports whether this is the
+// first (allocating) request, i.e. the caller must issue the fill.
+// Registering a new block on a full MSHR panics; callers must check Full
+// and stall instead.
+func (m *MSHR) Register(block uint64, wake func()) (first bool) {
+	ws, ok := m.pending[block]
+	if !ok {
+		if m.Full() {
+			panic("cache: MSHR overflow; caller must stall on Full()")
+		}
+		m.pending[block] = []func(){wake}
+		return true
+	}
+	m.pending[block] = append(ws, wake)
+	return false
+}
+
+// Outstanding reports whether the block has an MSHR entry.
+func (m *MSHR) Outstanding(block uint64) bool {
+	_, ok := m.pending[block]
+	return ok
+}
+
+// Complete releases the entry for a block and runs all waiters in
+// registration order.
+func (m *MSHR) Complete(block uint64) {
+	ws := m.pending[block]
+	delete(m.pending, block)
+	for _, w := range ws {
+		if w != nil {
+			w()
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package cache
+
+import "dbisim/internal/replacement"
+
+// RankOf returns the eviction rank of (set, way): 0 = next victim.
+// It returns -1 when the policy cannot rank ways.
+func (c *Cache) RankOf(set, way int) int {
+	r, ok := c.policy.(replacement.Ranker)
+	if !ok {
+		return -1
+	}
+	return r.Rank(set, way)
+}
+
+// DirtyInLowRanks reports whether the set holds a valid dirty block among
+// its k lowest-rank (closest-to-eviction) ways. This is the Set State
+// Vector query of the Virtual Write Queue: a cheap per-set summary that
+// filters tag lookups for proactive writebacks.
+func (c *Cache) DirtyInLowRanks(set, k int) bool {
+	r, ok := c.policy.(replacement.Ranker)
+	if !ok {
+		return false
+	}
+	for w := 0; w < c.ways; w++ {
+		blk := c.at(set, w)
+		if blk.Valid && blk.Dirty && r.Rank(set, w) < k {
+			return true
+		}
+	}
+	return false
+}

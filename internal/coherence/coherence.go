@@ -1,0 +1,277 @@
+// Package coherence implements the cache-coherence adaptation of
+// Section 2.3 of the DBI paper. Protocols like MESI and MOESI encode the
+// dirty status of a block implicitly in the coherence state (M and O are
+// the dirty states). To move dirty tracking into the DBI, the paper
+// splits the state space into pairs — each pair a dirty state and its
+// non-dirty twin — and stores one bit per block (in the DBI) to select
+// within the pair:
+//
+//	MOESI: (M, E)  (O, S)  (I)
+//	MESI:  (M, E)  (S)     (I)
+//
+// The tag store keeps only the pair identifier (the non-dirty half); the
+// DBI bit lifts it to the dirty half. This package provides the state
+// encoding, the lift/lower maps, and a transition table whose dirty-bit
+// side effects are expressed as DBI operations, so an LLC directory can
+// adopt the split without changing protocol behaviour.
+package coherence
+
+import "fmt"
+
+// State is a full MOESI coherence state.
+type State uint8
+
+const (
+	// Invalid: the block is not present.
+	Invalid State = iota
+	// Shared: clean, possibly in other caches.
+	Shared
+	// Exclusive: clean, only copy.
+	Exclusive
+	// Owned: dirty, shared with other caches (responsible for writeback).
+	Owned
+	// Modified: dirty, only copy.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Dirty reports whether the full state implies a dirty block.
+func (s State) Dirty() bool { return s == Modified || s == Owned }
+
+// Pair is the state stored in the tag entry under the DBI split: the
+// non-dirty representative of each (dirty, non-dirty) pair.
+type Pair uint8
+
+const (
+	// PairInvalid is the (I) singleton.
+	PairInvalid Pair = iota
+	// PairShared is the (O, S) pair: S in the tag, O when the DBI bit is
+	// set.
+	PairShared
+	// PairExclusive is the (M, E) pair: E in the tag, M when the DBI bit
+	// is set.
+	PairExclusive
+)
+
+func (p Pair) String() string {
+	switch p {
+	case PairInvalid:
+		return "(I)"
+	case PairShared:
+		return "(O,S)"
+	case PairExclusive:
+		return "(M,E)"
+	}
+	return fmt.Sprintf("Pair(%d)", uint8(p))
+}
+
+// Split decomposes a full state into its tag-store pair and DBI dirty
+// bit (Section 2.3's encoding).
+func Split(s State) (Pair, bool) {
+	switch s {
+	case Invalid:
+		return PairInvalid, false
+	case Shared:
+		return PairShared, false
+	case Owned:
+		return PairShared, true
+	case Exclusive:
+		return PairExclusive, false
+	case Modified:
+		return PairExclusive, true
+	}
+	return PairInvalid, false
+}
+
+// Join recomposes the full state from the tag-store pair and the DBI
+// dirty bit.
+func Join(p Pair, dirty bool) State {
+	switch p {
+	case PairInvalid:
+		return Invalid
+	case PairShared:
+		if dirty {
+			return Owned
+		}
+		return Shared
+	case PairExclusive:
+		if dirty {
+			return Modified
+		}
+		return Exclusive
+	}
+	return Invalid
+}
+
+// Event is a coherence input at one cache.
+type Event uint8
+
+const (
+	// LocalRead: this cache's core reads the block.
+	LocalRead Event = iota
+	// LocalWrite: this cache's core writes the block.
+	LocalWrite
+	// RemoteRead: another cache reads (snooped BusRd).
+	RemoteRead
+	// RemoteWrite: another cache writes (snooped BusRdX/Invalidate).
+	RemoteWrite
+	// Evict: the block leaves this cache.
+	Evict
+)
+
+func (e Event) String() string {
+	switch e {
+	case LocalRead:
+		return "LocalRead"
+	case LocalWrite:
+		return "LocalWrite"
+	case RemoteRead:
+		return "RemoteRead"
+	case RemoteWrite:
+		return "RemoteWrite"
+	case Evict:
+		return "Evict"
+	}
+	return fmt.Sprintf("Event(%d)", uint8(e))
+}
+
+// Outcome describes a transition's result: the next state plus the
+// actions the cache must take.
+type Outcome struct {
+	Next State
+	// WritebackToMemory: the block's data must reach main memory (the
+	// dirty copy is being destroyed).
+	WritebackToMemory bool
+	// SupplyData: this cache must forward the block to the requester.
+	SupplyData bool
+	// FetchExclusive: acquire ownership before completing (BusRdX).
+	FetchExclusive bool
+}
+
+// Transition is the MOESI transition function. It panics on an
+// impossible input (reading or writing an Invalid block locally is a
+// fill, not a transition — model fills as Join(PairExclusive/Shared,...)
+// at insertion).
+func Transition(s State, e Event) Outcome {
+	switch e {
+	case LocalRead:
+		if s == Invalid {
+			panic("coherence: local read of invalid block; fills are not transitions")
+		}
+		return Outcome{Next: s}
+	case LocalWrite:
+		switch s {
+		case Invalid:
+			panic("coherence: local write of invalid block; fills are not transitions")
+		case Modified:
+			return Outcome{Next: Modified}
+		case Exclusive:
+			return Outcome{Next: Modified}
+		case Owned, Shared:
+			// Must invalidate other copies first.
+			return Outcome{Next: Modified, FetchExclusive: true}
+		}
+	case RemoteRead:
+		switch s {
+		case Modified:
+			// Supply data, keep the dirty copy as Owned.
+			return Outcome{Next: Owned, SupplyData: true}
+		case Owned:
+			return Outcome{Next: Owned, SupplyData: true}
+		case Exclusive:
+			return Outcome{Next: Shared, SupplyData: true}
+		case Shared, Invalid:
+			return Outcome{Next: s}
+		}
+	case RemoteWrite:
+		switch s {
+		case Modified, Owned:
+			// The dirty copy is destroyed: supply data to the writer;
+			// memory stays stale only if the writer takes ownership, so
+			// the protocol forwards rather than writes back.
+			return Outcome{Next: Invalid, SupplyData: true}
+		case Exclusive, Shared:
+			return Outcome{Next: Invalid}
+		case Invalid:
+			return Outcome{Next: Invalid}
+		}
+	case Evict:
+		switch s {
+		case Modified, Owned:
+			return Outcome{Next: Invalid, WritebackToMemory: true}
+		default:
+			return Outcome{Next: Invalid}
+		}
+	}
+	panic(fmt.Sprintf("coherence: unhandled transition %v on %v", e, s))
+}
+
+// DirtyTracker is the DBI-shaped dependency of the split directory: the
+// subset of the Dirty-Block Index the coherence layer needs.
+type DirtyTracker interface {
+	IsDirty(block uint64) bool
+	SetDirty(block uint64)
+	ClearDirty(block uint64)
+}
+
+// SplitDirectory stores the pair states in a map (standing in for tag
+// entries) and keeps the dirty bit in a DirtyTracker. It proves the
+// Section-2.3 claim: protocol behaviour is unchanged when the dirty half
+// of each state pair lives in the DBI.
+type SplitDirectory struct {
+	pairs   map[uint64]Pair
+	tracker DirtyTracker
+}
+
+// NewSplitDirectory builds a directory over the tracker.
+func NewSplitDirectory(t DirtyTracker) *SplitDirectory {
+	return &SplitDirectory{pairs: make(map[uint64]Pair), tracker: t}
+}
+
+// StateOf reconstructs the full state of a block.
+func (d *SplitDirectory) StateOf(block uint64) State {
+	p, ok := d.pairs[block]
+	if !ok {
+		return Invalid
+	}
+	return Join(p, d.tracker.IsDirty(block))
+}
+
+// SetState records a full state, splitting it into the pair and the
+// DBI bit.
+func (d *SplitDirectory) SetState(block uint64, s State) {
+	p, dirty := Split(s)
+	if p == PairInvalid {
+		delete(d.pairs, block)
+	} else {
+		d.pairs[block] = p
+	}
+	if dirty {
+		d.tracker.SetDirty(block)
+	} else {
+		d.tracker.ClearDirty(block)
+	}
+}
+
+// Apply runs a transition on a block and stores the result, returning
+// the outcome for the caller to act on.
+func (d *SplitDirectory) Apply(block uint64, e Event) Outcome {
+	out := Transition(d.StateOf(block), e)
+	d.SetState(block, out.Next)
+	return out
+}

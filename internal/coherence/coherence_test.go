@@ -1,0 +1,207 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allStates() []State {
+	return []State{Invalid, Shared, Exclusive, Owned, Modified}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	for _, s := range allStates() {
+		p, dirty := Split(s)
+		if got := Join(p, dirty); got != s {
+			t.Fatalf("Join(Split(%v)) = %v", s, got)
+		}
+	}
+}
+
+func TestSplitDirtyConsistency(t *testing.T) {
+	// The DBI bit must equal the full state's dirtiness — the defining
+	// property of the Section-2.3 encoding.
+	for _, s := range allStates() {
+		_, dirty := Split(s)
+		if dirty != s.Dirty() {
+			t.Fatalf("%v: split dirty %v != state dirty %v", s, dirty, s.Dirty())
+		}
+	}
+}
+
+func TestPairStrings(t *testing.T) {
+	if PairShared.String() != "(O,S)" || PairExclusive.String() != "(M,E)" || PairInvalid.String() != "(I)" {
+		t.Fatal("pair strings wrong")
+	}
+	if Modified.String() != "M" || Owned.String() != "O" {
+		t.Fatal("state strings wrong")
+	}
+	if LocalWrite.String() != "LocalWrite" {
+		t.Fatal("event string wrong")
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	cases := []struct {
+		s    State
+		e    Event
+		next State
+		wb   bool
+		sup  bool
+		excl bool
+	}{
+		{Exclusive, LocalWrite, Modified, false, false, false},
+		{Shared, LocalWrite, Modified, false, false, true},
+		{Owned, LocalWrite, Modified, false, false, true},
+		{Modified, LocalWrite, Modified, false, false, false},
+		{Modified, RemoteRead, Owned, false, true, false},
+		{Owned, RemoteRead, Owned, false, true, false},
+		{Exclusive, RemoteRead, Shared, false, true, false},
+		{Shared, RemoteRead, Shared, false, false, false},
+		{Modified, RemoteWrite, Invalid, false, true, false},
+		{Owned, RemoteWrite, Invalid, false, true, false},
+		{Shared, RemoteWrite, Invalid, false, false, false},
+		{Exclusive, RemoteWrite, Invalid, false, false, false},
+		{Modified, Evict, Invalid, true, false, false},
+		{Owned, Evict, Invalid, true, false, false},
+		{Exclusive, Evict, Invalid, false, false, false},
+		{Shared, Evict, Invalid, false, false, false},
+		{Shared, LocalRead, Shared, false, false, false},
+		{Modified, LocalRead, Modified, false, false, false},
+	}
+	for _, c := range cases {
+		got := Transition(c.s, c.e)
+		if got.Next != c.next || got.WritebackToMemory != c.wb ||
+			got.SupplyData != c.sup || got.FetchExclusive != c.excl {
+			t.Fatalf("Transition(%v, %v) = %+v, want next=%v wb=%v sup=%v excl=%v",
+				c.s, c.e, got, c.next, c.wb, c.sup, c.excl)
+		}
+	}
+}
+
+func TestLocalAccessOfInvalidPanics(t *testing.T) {
+	for _, e := range []Event{LocalRead, LocalWrite} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%v on Invalid did not panic", e)
+				}
+			}()
+			Transition(Invalid, e)
+		}()
+	}
+}
+
+// Property: only dirty states ever require a memory writeback, and
+// writebacks happen exactly when a dirty block is destroyed by eviction.
+func TestQuickWritebackOnlyFromDirty(t *testing.T) {
+	f := func(sRaw, eRaw uint8) bool {
+		s := State(sRaw % 5)
+		e := Event(eRaw % 5)
+		if s == Invalid && (e == LocalRead || e == LocalWrite) {
+			return true // excluded by contract
+		}
+		out := Transition(s, e)
+		if out.WritebackToMemory && !s.Dirty() {
+			return false
+		}
+		if e == Evict && s.Dirty() && !out.WritebackToMemory {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mapTracker is a trivial DirtyTracker.
+type mapTracker map[uint64]bool
+
+func (m mapTracker) IsDirty(b uint64) bool { return m[b] }
+func (m mapTracker) SetDirty(b uint64)     { m[b] = true }
+func (m mapTracker) ClearDirty(b uint64)   { delete(m, b) }
+
+func TestSplitDirectoryMatchesDirectStateMachine(t *testing.T) {
+	// Run the same event sequence through (a) a plain full-state machine
+	// and (b) the split directory with the dirty bit externalized; the
+	// observable states and outcomes must be identical — the paper's
+	// "seamlessly adapted" claim.
+	seq := []Event{
+		LocalWrite, RemoteRead, LocalRead, LocalWrite, RemoteWrite,
+	}
+	dir := NewSplitDirectory(mapTracker{})
+	const block = 42
+	dir.SetState(block, Exclusive) // fill
+	plain := Exclusive
+	for i, e := range seq {
+		if plain == Invalid {
+			dir.SetState(block, Exclusive)
+			plain = Exclusive
+		}
+		want := Transition(plain, e)
+		got := dir.Apply(block, e)
+		if got != want {
+			t.Fatalf("step %d (%v): split %+v != plain %+v", i, e, got, want)
+		}
+		plain = want.Next
+		if dir.StateOf(block) != plain {
+			t.Fatalf("step %d: directory state %v != %v", i, dir.StateOf(block), plain)
+		}
+	}
+}
+
+// Property: for any event sequence, the split directory's state always
+// equals the plain state machine's state.
+func TestQuickSplitDirectoryEquivalence(t *testing.T) {
+	f := func(events []uint8) bool {
+		tracker := mapTracker{}
+		dir := NewSplitDirectory(tracker)
+		const block = 7
+		dir.SetState(block, Exclusive)
+		plain := Exclusive
+		for _, raw := range events {
+			e := Event(raw % 5)
+			if plain == Invalid {
+				dir.SetState(block, Shared)
+				plain = Shared
+			}
+			want := Transition(plain, e)
+			got := dir.Apply(block, e)
+			if got != want {
+				return false
+			}
+			plain = want.Next
+			if dir.StateOf(block) != plain {
+				return false
+			}
+			// Invariant: tracker dirty iff state dirty.
+			if tracker.IsDirty(block) != plain.Dirty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetStateInvalidRemovesEntry(t *testing.T) {
+	tracker := mapTracker{}
+	dir := NewSplitDirectory(tracker)
+	dir.SetState(1, Modified)
+	if dir.StateOf(1) != Modified {
+		t.Fatal("state not stored")
+	}
+	if !tracker.IsDirty(1) {
+		t.Fatal("dirty bit not set in tracker")
+	}
+	dir.SetState(1, Invalid)
+	if dir.StateOf(1) != Invalid {
+		t.Fatal("state not removed")
+	}
+	if tracker.IsDirty(1) {
+		t.Fatal("dirty bit not cleared")
+	}
+}

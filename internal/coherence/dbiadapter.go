@@ -1,0 +1,37 @@
+package coherence
+
+import (
+	"dbisim/internal/addr"
+	"dbisim/internal/dbi"
+)
+
+// DBIAdapter plugs a real Dirty-Block Index in as the DirtyTracker of a
+// SplitDirectory, completing the Section-2.3 integration: coherence
+// states live in the tag store as pairs, dirtiness lives in the DBI, and
+// DBI evictions surface through OnEviction so the owner can write the
+// displaced blocks back (their states simultaneously lower from the
+// dirty half of each pair to the clean half, e.g. M→E, O→S).
+type DBIAdapter struct {
+	D *dbi.DBI
+	// OnEviction receives DBI evictions caused by SetDirty; the listed
+	// blocks must be written back to memory.
+	OnEviction func(dbi.Eviction)
+}
+
+// IsDirty implements DirtyTracker.
+func (a *DBIAdapter) IsDirty(b uint64) bool {
+	return a.D.IsDirty(addr.BlockAddr(b))
+}
+
+// SetDirty implements DirtyTracker, surfacing any DBI eviction.
+func (a *DBIAdapter) SetDirty(b uint64) {
+	ev, evicted := a.D.SetDirty(addr.BlockAddr(b))
+	if evicted && a.OnEviction != nil {
+		a.OnEviction(ev)
+	}
+}
+
+// ClearDirty implements DirtyTracker.
+func (a *DBIAdapter) ClearDirty(b uint64) {
+	a.D.ClearDirty(addr.BlockAddr(b))
+}

@@ -1,0 +1,327 @@
+// Package cpu models the out-of-order cores of Table 1: single-issue,
+// 128-entry instruction window, with private L1 and L2 caches in front of
+// the shared LLC.
+//
+// The core is trace-driven. It issues one instruction per cycle; loads
+// proceed through the hierarchy asynchronously and many may be in flight
+// at once (memory-level parallelism), but issue stalls when the
+// instruction window fills behind an incomplete oldest load — the way
+// out-of-order cores actually lose performance to memory latency. Stores
+// retire through a store buffer and never stall the window; they generate
+// the writeback traffic that ultimately reaches the LLC and the DBI.
+package cpu
+
+import (
+	"fmt"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/cache"
+	"dbisim/internal/config"
+	"dbisim/internal/event"
+	"dbisim/internal/llc"
+	"dbisim/internal/stats"
+	"dbisim/internal/trace"
+)
+
+// Stats counts per-core activity.
+type Stats struct {
+	Instructions stats.Counter // issued (≈ retired) instructions
+	Loads        stats.Counter
+	Stores       stats.Counter
+	L1Hits       stats.Counter
+	L2Hits       stats.Counter
+	LLCAccesses  stats.Counter // demand reads that reached the LLC
+	WindowStalls stats.Counter // stall episodes on a full window
+}
+
+// Core is one simulated core plus its private cache levels.
+type Core struct {
+	Eng *event.Engine
+	ID  int
+
+	gen trace.Generator
+	l1  *cache.Cache
+	l2  *cache.Cache
+	llc *llc.LLC
+
+	geo           addr.Geometry
+	window        int
+	l1Latency     event.Cycle
+	l2Latency     event.Cycle
+	issued        uint64 // instruction issue counter (sequence numbers)
+	issuedAtStart uint64
+	inflight      []*loadSlot
+	stalled       bool
+	deferred      trace.Record // record waiting on a full window
+	stopped       bool
+	outstanding   map[addr.BlockAddr][]func()
+
+	// Budget: the core calls onDone once after issuing budget
+	// instructions; it keeps running afterwards to preserve contention.
+	budget uint64
+	onDone func()
+	done   bool
+
+	// Measurement window markers, set by Start.
+	startCycle event.Cycle
+	doneCycle  event.Cycle
+
+	Stat Stats
+}
+
+type loadSlot struct {
+	seq  uint64
+	done bool
+}
+
+// New builds a core with fresh private caches.
+func New(eng *event.Engine, id int, cfg config.SystemConfig, gen trace.Generator, shared *llc.LLC, seed int64) (*Core, error) {
+	l1, err := cache.New(cfg.L1, 1, seed)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: L1: %w", err)
+	}
+	l2, err := cache.New(cfg.L2, 1, seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: L2: %w", err)
+	}
+	return &Core{
+		Eng:         eng,
+		ID:          id,
+		gen:         gen,
+		l1:          l1,
+		l2:          l2,
+		llc:         shared,
+		geo:         addr.Default(),
+		window:      cfg.Core.WindowSize,
+		l1Latency:   event.Cycle(cfg.L1.AccessLatency()),
+		l2Latency:   event.Cycle(cfg.L1.AccessLatency() + cfg.L2.AccessLatency()),
+		outstanding: make(map[addr.BlockAddr][]func()),
+	}, nil
+}
+
+// Start begins execution: the core will call onDone once after issuing
+// budget instructions, then keep running (to preserve contention for
+// other cores) until Stop.
+func (c *Core) Start(budget uint64, onDone func()) {
+	c.Rebudget(budget, onDone)
+	c.Eng.ScheduleAfter(1, c.step)
+}
+
+// Rebudget opens a new measurement window without restarting the issue
+// pipeline — the warmup→measure transition. The next budget instructions
+// are timed from now.
+func (c *Core) Rebudget(budget uint64, onDone func()) {
+	c.budget = budget
+	c.onDone = onDone
+	c.done = false
+	c.startCycle = c.Eng.Now()
+	c.issuedAtStart = c.issued
+}
+
+// Stop halts the core after its current event.
+func (c *Core) Stop() { c.stopped = true }
+
+// Done reports whether the budget has been reached.
+func (c *Core) Done() bool { return c.done }
+
+// Issued returns the total instructions issued since construction.
+func (c *Core) Issued() uint64 { return c.issued }
+
+// Cycles returns the cycles the core took to issue its budget
+// (valid after Done).
+func (c *Core) Cycles() uint64 { return uint64(c.doneCycle - c.startCycle) }
+
+// IPC returns budget/cycles for the measured window (valid after Done).
+func (c *Core) IPC() float64 {
+	if c.doneCycle <= c.startCycle {
+		return 0
+	}
+	return float64(c.budget) / float64(c.doneCycle-c.startCycle)
+}
+
+// L1 exposes the private L1 (tests, diagnostics).
+func (c *Core) L1() *cache.Cache { return c.l1 }
+
+// L2 exposes the private L2.
+func (c *Core) L2() *cache.Cache { return c.l2 }
+
+// step issues the next trace record.
+func (c *Core) step() {
+	if c.stopped {
+		return
+	}
+	// The budget completes here, after the issued instructions' cycles
+	// have elapsed, so IPC never exceeds the issue width.
+	if !c.done && c.budget > 0 && c.issued-c.issuedAtStart >= c.budget {
+		c.done = true
+		c.doneCycle = c.Eng.Now()
+		if c.onDone != nil {
+			c.onDone()
+		}
+		if c.stopped {
+			return
+		}
+	}
+	rec := c.gen.Next()
+	cost := uint64(rec.Gap) + 1
+
+	// Window check: we may not issue past the oldest incomplete load by
+	// more than the window size.
+	c.reapLoads()
+	if c.windowFull(cost) {
+		// Stall until enough older loads complete; every load completion
+		// re-checks via resume. WindowStalls counts stall episodes.
+		c.stalled = true
+		c.Stat.WindowStalls.Inc()
+		c.deferred = rec
+		return
+	}
+	c.issue(rec, cost)
+}
+
+// windowFull reports whether issuing cost more instructions would move
+// issue further than the window allows past the oldest incomplete load.
+func (c *Core) windowFull(cost uint64) bool {
+	return len(c.inflight) > 0 && c.issued+cost-c.inflight[0].seq > uint64(c.window)
+}
+
+// resume re-checks the window after a load completion and restarts issue
+// if the stalled record now fits.
+func (c *Core) resume() {
+	if !c.stalled || c.stopped {
+		return
+	}
+	c.reapLoads()
+	cost := uint64(c.deferred.Gap) + 1
+	if c.windowFull(cost) {
+		return
+	}
+	c.stalled = false
+	c.issue(c.deferred, cost)
+}
+
+func (c *Core) issue(rec trace.Record, cost uint64) {
+	c.issued += cost
+	c.Stat.Instructions.Add(cost)
+	b := c.geo.BlockOf(rec.Addr)
+	if rec.Kind == trace.Load {
+		c.Stat.Loads.Inc()
+		slot := &loadSlot{seq: c.issued}
+		c.inflight = append(c.inflight, slot)
+		c.load(b, func() {
+			slot.done = true
+			c.resume()
+		})
+	} else {
+		c.Stat.Stores.Inc()
+		c.store(b)
+	}
+	c.Eng.ScheduleAfter(event.Cycle(cost), func() {
+		if !c.stalled {
+			c.step()
+		}
+	})
+}
+
+// reapLoads drops completed loads from the head of the window.
+func (c *Core) reapLoads() {
+	i := 0
+	for i < len(c.inflight) && c.inflight[i].done {
+		i++
+	}
+	if i > 0 {
+		c.inflight = append(c.inflight[:0], c.inflight[i:]...)
+	}
+}
+
+// load walks the hierarchy; done fires when data is available.
+func (c *Core) load(b addr.BlockAddr, done func()) {
+	if c.l1.Access(b, 0) {
+		c.Stat.L1Hits.Inc()
+		c.Eng.ScheduleAfter(c.l1Latency, done)
+		return
+	}
+	if c.l2.Access(b, 0) {
+		c.Stat.L2Hits.Inc()
+		c.fillL1(b, false)
+		c.Eng.ScheduleAfter(c.l2Latency, done)
+		return
+	}
+	c.fetchShared(b, func() {
+		c.fillL2(b)
+		c.fillL1(b, false)
+		done()
+	})
+}
+
+// store performs a write-allocate store; it never blocks the window.
+func (c *Core) store(b addr.BlockAddr) {
+	if c.l1.Access(b, 0) {
+		c.Stat.L1Hits.Inc()
+		c.l1.SetDirty(b, true)
+		return
+	}
+	if c.l2.Access(b, 0) {
+		c.Stat.L2Hits.Inc()
+		c.fillL1(b, true)
+		return
+	}
+	// Read-for-ownership fetch, then install dirty in L1.
+	c.fetchShared(b, func() {
+		c.fillL2(b)
+		c.fillL1(b, true)
+	})
+}
+
+// fetchShared reads a block from the LLC, merging concurrent requests to
+// the same block (the private-level MSHRs).
+func (c *Core) fetchShared(b addr.BlockAddr, done func()) {
+	if ws, ok := c.outstanding[b]; ok {
+		c.outstanding[b] = append(ws, done)
+		return
+	}
+	c.outstanding[b] = []func(){done}
+	c.Stat.LLCAccesses.Inc()
+	c.llc.Read(b, c.ID, func() {
+		ws := c.outstanding[b]
+		delete(c.outstanding, b)
+		for _, w := range ws {
+			w()
+		}
+	})
+}
+
+// fillL1 installs a block in L1, cascading a dirty victim into L2.
+func (c *Core) fillL1(b addr.BlockAddr, dirty bool) {
+	if dirty {
+		// Ensure the dirty bit lands even if the block is resident.
+		if c.l1.Contains(b) {
+			c.l1.SetDirty(b, true)
+			return
+		}
+	}
+	victim := c.l1.Insert(b, 0, dirty)
+	if victim.Valid && victim.Dirty {
+		c.writebackToL2(victim.Addr)
+	}
+}
+
+// fillL2 installs a block in L2, cascading a dirty victim to the LLC.
+func (c *Core) fillL2(b addr.BlockAddr) {
+	victim := c.l2.Insert(b, 0, false)
+	if victim.Valid && victim.Dirty {
+		c.llc.Writeback(victim.Addr, c.ID)
+	}
+}
+
+// writebackToL2 delivers an L1 dirty eviction to L2.
+func (c *Core) writebackToL2(b addr.BlockAddr) {
+	if c.l2.Contains(b) {
+		c.l2.SetDirty(b, true)
+		return
+	}
+	victim := c.l2.Insert(b, 0, true)
+	if victim.Valid && victim.Dirty {
+		c.llc.Writeback(victim.Addr, c.ID)
+	}
+}

@@ -1,0 +1,67 @@
+package dbi
+
+import (
+	"testing"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+)
+
+func benchDBI(b *testing.B) *DBI {
+	b.Helper()
+	d, err := New(addr.Default(), config.DBIParams{
+		AlphaNum: 1, AlphaDen: 4, Granularity: 64,
+		Associativity: 16, Latency: 4,
+		Replacement: config.DBILRW, BIPEpsilonDen: 64,
+	}, 262144, 1) // 16MB-cache-sized DBI: 1024 entries
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkSetDirty measures the hot write path including evictions.
+func BenchmarkSetDirty(b *testing.B) {
+	d := benchDBI(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.SetDirty(addr.BlockAddr(i * 37))
+	}
+}
+
+// BenchmarkIsDirty measures the CLB guard query.
+func BenchmarkIsDirty(b *testing.B) {
+	d := benchDBI(b)
+	for i := 0; i < 4096; i++ {
+		d.SetDirty(addr.BlockAddr(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.IsDirty(addr.BlockAddr(i & 8191))
+	}
+}
+
+// BenchmarkDirtyBlocksInRegion measures the AWB harvest query.
+func BenchmarkDirtyBlocksInRegion(b *testing.B) {
+	d := benchDBI(b)
+	for i := 0; i < 64; i++ {
+		d.SetDirty(addr.BlockAddr(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := d.DirtyBlocksInRegion(0); len(got) == 0 {
+			b.Fatal("empty region")
+		}
+	}
+}
+
+// BenchmarkClearDirty measures the cache-eviction path.
+func BenchmarkClearDirty(b *testing.B) {
+	d := benchDBI(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := addr.BlockAddr(i & 65535)
+		d.SetDirty(blk)
+		d.ClearDirty(blk)
+	}
+}

@@ -1,0 +1,116 @@
+package dbi
+
+import "dbisim/internal/addr"
+
+// Bulk queries (Section 7 of the paper): because the DBI is a compact,
+// row-organized record of all dirty state, questions like "does this
+// DRAM row/bank hold dirty blocks", "flush everything" and "is any block
+// of this DMA range dirty" are answered with a handful of entry scans
+// instead of a full tag-store walk.
+
+// RowHasDirty reports whether any block of the DRAM row is dirty
+// ("Does DRAM row R have any dirty blocks?").
+func (d *DBI) RowHasDirty(r addr.RowID) bool {
+	d.Stat.Lookups.Inc()
+	// A row spans one or more regions depending on granularity.
+	perRow := d.geo.BlocksPerRow() / d.granularity
+	first := RegionID(uint64(r) * uint64(perRow))
+	for i := 0; i < perRow; i++ {
+		if e := d.find(first + RegionID(i)); e != nil && e.DirtyCount() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BankHasDirty reports whether any dirty block maps to the DRAM bank
+// ("Does bank X have any dirty blocks?") — useful for rank/bank idle-time
+// write scheduling.
+func (d *DBI) BankHasDirty(bank int) bool {
+	d.Stat.Lookups.Inc()
+	for i := range d.entries {
+		e := &d.entries[i]
+		if !e.Valid || e.DirtyCount() == 0 {
+			continue
+		}
+		base := uint64(e.Region) << d.regionShift
+		row := d.geo.RowOf(addr.BlockAddr(base))
+		if d.geo.BankOf(row) == bank {
+			return true
+		}
+	}
+	return false
+}
+
+// AllDirtyBlocks lists every dirty block the DBI tracks, grouped by
+// entry (and therefore by DRAM row) — the access order a cache flush
+// wants.
+func (d *DBI) AllDirtyBlocks() []addr.BlockAddr {
+	d.Stat.Lookups.Inc()
+	var out []addr.BlockAddr
+	for i := range d.entries {
+		if d.entries[i].Valid {
+			out = append(out, d.blocksOf(&d.entries[i])...)
+		}
+	}
+	return out
+}
+
+// Flush evicts every valid entry, returning the row-grouped writeback
+// work a whole-cache flush must perform (powering down a bank,
+// persistent-memory commit). After Flush the DBI is empty: no block is
+// dirty.
+func (d *DBI) Flush() []Eviction {
+	var evs []Eviction
+	for i := range d.entries {
+		e := &d.entries[i]
+		if e.Valid {
+			evs = append(evs, d.evict(e))
+		}
+	}
+	return evs
+}
+
+// DirtyInRange lists dirty blocks within [lo, hi) — the coherence query
+// a bulk DMA from memory must answer before reading the range.
+func (d *DBI) DirtyInRange(lo, hi addr.BlockAddr) []addr.BlockAddr {
+	d.Stat.Lookups.Inc()
+	if hi <= lo {
+		return nil
+	}
+	var out []addr.BlockAddr
+	for r := d.RegionOf(lo); r <= d.RegionOf(hi-1); r++ {
+		e := d.find(r)
+		if e == nil {
+			continue
+		}
+		for _, b := range d.blocksOf(e) {
+			if b >= lo && b < hi {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// OldestDirtyRow returns the dirty blocks of the least recently written
+// valid entry, or nil when nothing is dirty. Eager-writeback scheduling
+// (Section 7) uses it to pick the row least likely to absorb further
+// writes before flushing it during memory idle time.
+func (d *DBI) OldestDirtyRow() []addr.BlockAddr {
+	d.Stat.Lookups.Inc()
+	var best *Entry
+	for i := range d.entries {
+		e := &d.entries[i]
+		if !e.Valid || e.DirtyCount() == 0 {
+			continue
+		}
+		if best == nil || e.lastWrite < best.lastWrite {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return d.blocksOf(best)
+}

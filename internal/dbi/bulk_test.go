@@ -1,0 +1,117 @@
+package dbi
+
+import (
+	"testing"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+)
+
+func TestRowHasDirty(t *testing.T) {
+	d := newDBI(t, config.DBILRW)
+	// Granularity 64, 128 blocks/row: row 0 spans regions 0 and 1.
+	d.SetDirty(70) // second half of row 0
+	if !d.RowHasDirty(0) {
+		t.Fatal("row 0 should have dirty blocks")
+	}
+	if d.RowHasDirty(1) {
+		t.Fatal("row 1 should be clean")
+	}
+}
+
+func TestRowHasDirtyFullRowGranularity(t *testing.T) {
+	p := params(config.DBILRW)
+	p.Granularity = 128
+	d, err := New(addr.Default(), p, 32768, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetDirty(128*5 + 3)
+	if !d.RowHasDirty(5) || d.RowHasDirty(4) {
+		t.Fatal("row dirty query wrong at granularity 128")
+	}
+}
+
+func TestBankHasDirty(t *testing.T) {
+	d := newDBI(t, config.DBILRW)
+	// Block 0 -> row 0 -> bank 0.
+	d.SetDirty(0)
+	if !d.BankHasDirty(0) {
+		t.Fatal("bank 0 should be dirty")
+	}
+	if d.BankHasDirty(3) {
+		t.Fatal("bank 3 should be clean")
+	}
+	// Row 3 -> bank 3.
+	d.SetDirty(addr.BlockAddr(3 * 128))
+	if !d.BankHasDirty(3) {
+		t.Fatal("bank 3 should now be dirty")
+	}
+}
+
+func TestAllDirtyBlocksAndFlush(t *testing.T) {
+	d := newDBI(t, config.DBILRW)
+	want := map[addr.BlockAddr]bool{}
+	for _, b := range []addr.BlockAddr{1, 65, 300, 4096} {
+		d.SetDirty(b)
+		want[b] = true
+	}
+	got := d.AllDirtyBlocks()
+	if len(got) != len(want) {
+		t.Fatalf("AllDirtyBlocks = %v", got)
+	}
+	for _, b := range got {
+		if !want[b] {
+			t.Fatalf("unexpected dirty block %d", b)
+		}
+	}
+	evs := d.Flush()
+	total := 0
+	for _, ev := range evs {
+		total += len(ev.Blocks)
+	}
+	if total != len(want) {
+		t.Fatalf("flush wrote back %d blocks, want %d", total, len(want))
+	}
+	if d.DirtyCount() != 0 || d.ValidEntries() != 0 {
+		t.Fatal("DBI not empty after flush")
+	}
+	if len(d.Flush()) != 0 {
+		t.Fatal("second flush returned work")
+	}
+}
+
+func TestFlushGroupsByRegion(t *testing.T) {
+	d := newDBI(t, config.DBILRW)
+	for i := 0; i < 10; i++ {
+		d.SetDirty(addr.BlockAddr(i)) // all in region 0
+	}
+	evs := d.Flush()
+	if len(evs) != 1 {
+		t.Fatalf("flush produced %d evictions, want 1 (row-grouped)", len(evs))
+	}
+	if len(evs[0].Blocks) != 10 {
+		t.Fatalf("eviction blocks = %d", len(evs[0].Blocks))
+	}
+}
+
+func TestDirtyInRange(t *testing.T) {
+	d := newDBI(t, config.DBILRW)
+	for _, b := range []addr.BlockAddr{10, 50, 100, 200} {
+		d.SetDirty(b)
+	}
+	got := d.DirtyInRange(40, 150)
+	if len(got) != 2 || got[0] != 50 || got[1] != 100 {
+		t.Fatalf("DirtyInRange = %v", got)
+	}
+	if d.DirtyInRange(300, 300) != nil {
+		t.Fatal("empty range returned blocks")
+	}
+	if d.DirtyInRange(150, 100) != nil {
+		t.Fatal("inverted range returned blocks")
+	}
+	// Full coverage.
+	if got := d.DirtyInRange(0, 1<<20); len(got) != 4 {
+		t.Fatalf("full-range = %v", got)
+	}
+}

@@ -1,0 +1,394 @@
+// Package dbi implements the Dirty-Block Index, the primary contribution
+// of the paper. The DBI removes dirty bits from the cache tag store and
+// organizes them in a separate set-associative structure whose entries
+// each track the dirty status of the blocks of one DRAM-row-aligned
+// region: an entry holds a row tag and a bit vector with one bit per
+// block (Section 2 of the paper).
+//
+// Semantics: a cache block is dirty if and only if the DBI holds a valid
+// entry for the block's region and the block's bit in that entry is set.
+//
+// The structure supports the three queries the paper's optimizations
+// need:
+//
+//   - IsDirty — a single fast lookup (much smaller than the tag store),
+//     used by cache-lookup bypass (CLB);
+//   - DirtyBlocksInRegion — all spatially co-located dirty blocks in one
+//     query, used by aggressive DRAM-aware writeback (AWB);
+//   - the entry count itself bounds how many blocks can be dirty, which
+//     is what lets heterogeneous ECC keep strong ECC for DBI-tracked
+//     blocks only.
+//
+// Inserting into a full DBI set evicts another entry; the evicted entry's
+// dirty blocks must be written back to memory (a "DBI eviction",
+// Section 2.2.4), because the DBI is the only record of their dirtiness.
+package dbi
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+	"dbisim/internal/stats"
+)
+
+// RegionID identifies one DBI-entry-sized, row-aligned group of blocks.
+// When the granularity equals blocks-per-row this is exactly the DRAM
+// row ID.
+type RegionID uint64
+
+// Entry is one DBI entry: a valid bit, a region (row) tag and the dirty
+// bit vector. The replacement metadata lives alongside.
+type Entry struct {
+	Valid  bool
+	Region RegionID
+	bits   []uint64 // Granularity bits
+
+	lastWrite uint64 // LRW stamp; larger = more recently written
+	rwpv      uint8  // re-write prediction value (RWIP policy)
+}
+
+// DirtyCount returns the number of dirty blocks the entry tracks.
+func (e *Entry) DirtyCount() int {
+	n := 0
+	for _, w := range e.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (e *Entry) bit(i int) bool { return e.bits[i>>6]&(1<<(i&63)) != 0 }
+func (e *Entry) setBit(i int)   { e.bits[i>>6] |= 1 << (i & 63) }
+func (e *Entry) clearBit(i int) { e.bits[i>>6] &^= 1 << (i & 63) }
+func (e *Entry) clearAll() {
+	for i := range e.bits {
+		e.bits[i] = 0
+	}
+}
+
+// Eviction describes a DBI eviction: every listed block must be written
+// back to memory and transitioned dirty→clean in the cache (the blocks
+// themselves stay resident).
+type Eviction struct {
+	Region RegionID
+	Blocks []addr.BlockAddr
+}
+
+// Stats counts DBI activity.
+type Stats struct {
+	Lookups        stats.Counter // IsDirty / bulk queries
+	Writes         stats.Counter // SetDirty operations
+	Cleans         stats.Counter // ClearDirty operations
+	EntryInserts   stats.Counter
+	Evictions      stats.Counter // DBI evictions (entry displaced)
+	EvictionBlocks stats.Counter // dirty blocks written back by evictions
+	// DirtyAtEviction histograms the bit-vector population at eviction,
+	// showing how much row locality AWB can harvest.
+	DirtyAtEviction *stats.Histogram
+}
+
+// DBI is the Dirty-Block Index.
+type DBI struct {
+	geo         addr.Geometry
+	prm         config.DBIParams
+	sets        int
+	ways        int
+	granularity int
+	regionShift uint
+	entries     []Entry
+	clock       uint64
+	rng         *rand.Rand
+
+	Stat Stats
+}
+
+// New builds a DBI sized for a cache of cacheBlocks blocks: the DBI
+// tracks α × cacheBlocks blocks in entries of Granularity blocks each.
+func New(geo addr.Geometry, prm config.DBIParams, cacheBlocks int, seed int64) (*DBI, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if prm.Granularity > geo.BlocksPerRow() {
+		return nil, fmt.Errorf("dbi: granularity %d exceeds %d blocks per DRAM row",
+			prm.Granularity, geo.BlocksPerRow())
+	}
+	entries := prm.Entries(cacheBlocks)
+	sets := entries / prm.Associativity
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for mask indexing.
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	d := &DBI{
+		geo:         geo,
+		prm:         prm,
+		sets:        sets,
+		ways:        prm.Associativity,
+		granularity: prm.Granularity,
+		entries:     make([]Entry, sets*prm.Associativity),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	d.regionShift = log2(uint64(prm.Granularity))
+	words := (prm.Granularity + 63) / 64
+	for i := range d.entries {
+		d.entries[i].bits = make([]uint64, words)
+	}
+	if prm.BIPEpsilonDen <= 0 {
+		d.prm.BIPEpsilonDen = 64
+	}
+	d.Stat.DirtyAtEviction = stats.NewHistogram(prm.Granularity)
+	return d, nil
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Sets returns the number of DBI sets.
+func (d *DBI) Sets() int { return d.sets }
+
+// Ways returns the DBI associativity.
+func (d *DBI) Ways() int { return d.ways }
+
+// Entries returns the total entry count.
+func (d *DBI) Entries() int { return len(d.entries) }
+
+// TrackedBlocks returns the cumulative number of blocks the DBI can
+// track (entries × granularity) — the numerator of α.
+func (d *DBI) TrackedBlocks() int { return len(d.entries) * d.granularity }
+
+// Granularity returns blocks per entry.
+func (d *DBI) Granularity() int { return d.granularity }
+
+// RegionOf maps a block to its DBI region.
+func (d *DBI) RegionOf(b addr.BlockAddr) RegionID {
+	return RegionID(uint64(b) >> d.regionShift)
+}
+
+// offsetOf returns the block's bit position within its region.
+func (d *DBI) offsetOf(b addr.BlockAddr) int {
+	return int(uint64(b) & (uint64(d.granularity) - 1))
+}
+
+// setOf hashes the region into a set. A multiplicative (Fibonacci) hash
+// spreads regions evenly even when physical page placement happens to
+// cluster: with few sets, a plain modulo would let an unlucky placement
+// overload one set with the hot write working set and thrash it.
+func (d *DBI) setOf(r RegionID) int {
+	const golden = 0x9E3779B97F4A7C15
+	h := uint64(r) * golden
+	return int((h >> 32) & uint64(d.sets-1))
+}
+
+func (d *DBI) at(set, way int) *Entry { return &d.entries[set*d.ways+way] }
+
+// find locates the entry for a region without counting a lookup.
+func (d *DBI) find(r RegionID) *Entry {
+	set := d.setOf(r)
+	for w := 0; w < d.ways; w++ {
+		e := d.at(set, w)
+		if e.Valid && e.Region == r {
+			return e
+		}
+	}
+	return nil
+}
+
+// IsDirty implements the DBI's defining query: the block is dirty iff a
+// valid entry for its region exists and its bit is set.
+func (d *DBI) IsDirty(b addr.BlockAddr) bool {
+	d.Stat.Lookups.Inc()
+	e := d.find(d.RegionOf(b))
+	return e != nil && e.bit(d.offsetOf(b))
+}
+
+// SetDirty marks a block dirty (a writeback request arrived at the
+// cache, Section 2.2.2). If the region has no entry, one is inserted,
+// possibly evicting another entry; the eviction (if any) is returned and
+// the caller must write back and clean every listed block.
+func (d *DBI) SetDirty(b addr.BlockAddr) (ev Eviction, evicted bool) {
+	d.Stat.Writes.Inc()
+	d.clock++
+	r := d.RegionOf(b)
+	if e := d.find(r); e != nil {
+		e.setBit(d.offsetOf(b))
+		e.lastWrite = d.clock
+		e.rwpv = 0
+		return Eviction{}, false
+	}
+	set := d.setOf(r)
+	way, victim := d.allocate(set)
+	if victim != nil {
+		ev = d.evict(victim)
+		evicted = true
+	}
+	e := d.at(set, way)
+	e.Valid = true
+	e.Region = r
+	e.clearAll()
+	e.setBit(d.offsetOf(b))
+	d.insertMetadata(e)
+	d.Stat.EntryInserts.Inc()
+	return ev, evicted
+}
+
+// allocate picks a way in the set, returning the victim entry when a
+// valid entry must be displaced.
+func (d *DBI) allocate(set int) (way int, victim *Entry) {
+	for w := 0; w < d.ways; w++ {
+		if !d.at(set, w).Valid {
+			return w, nil
+		}
+	}
+	w := d.victimWay(set)
+	return w, d.at(set, w)
+}
+
+// victimWay applies the configured DBI replacement policy (Section 4.3).
+func (d *DBI) victimWay(set int) int {
+	switch d.prm.Replacement {
+	case config.DBILRW, config.DBILRWBIP:
+		best, bestStamp := 0, d.at(set, 0).lastWrite
+		for w := 1; w < d.ways; w++ {
+			if s := d.at(set, w).lastWrite; s < bestStamp {
+				best, bestStamp = w, s
+			}
+		}
+		return best
+	case config.DBIRWIP:
+		for {
+			for w := 0; w < d.ways; w++ {
+				if d.at(set, w).rwpv >= 3 {
+					return w
+				}
+			}
+			for w := 0; w < d.ways; w++ {
+				d.at(set, w).rwpv++
+			}
+		}
+	case config.DBIMaxDirty:
+		best, bestN := 0, d.at(set, 0).DirtyCount()
+		for w := 1; w < d.ways; w++ {
+			if n := d.at(set, w).DirtyCount(); n > bestN {
+				best, bestN = w, n
+			}
+		}
+		return best
+	case config.DBIMinDirty:
+		best, bestN := 0, d.at(set, 0).DirtyCount()
+		for w := 1; w < d.ways; w++ {
+			if n := d.at(set, w).DirtyCount(); n < bestN {
+				best, bestN = w, n
+			}
+		}
+		return best
+	}
+	return 0
+}
+
+// insertMetadata initializes replacement metadata for a fresh entry.
+func (d *DBI) insertMetadata(e *Entry) {
+	switch d.prm.Replacement {
+	case config.DBILRWBIP:
+		// Bimodal insertion: mostly insert at the LRW position so a
+		// single burst of writes to a cold row cannot displace the hot
+		// write working set.
+		if d.rng.Intn(d.prm.BIPEpsilonDen) != 0 {
+			e.lastWrite = 0
+			return
+		}
+		e.lastWrite = d.clock
+	case config.DBIRWIP:
+		e.rwpv = 2
+		e.lastWrite = d.clock
+	default:
+		e.lastWrite = d.clock
+	}
+}
+
+// evict harvests the eviction's writeback list and invalidates the entry.
+func (d *DBI) evict(e *Entry) Eviction {
+	ev := Eviction{Region: e.Region, Blocks: d.blocksOf(e)}
+	d.Stat.Evictions.Inc()
+	d.Stat.EvictionBlocks.Add(uint64(len(ev.Blocks)))
+	d.Stat.DirtyAtEviction.Observe(len(ev.Blocks))
+	e.Valid = false
+	e.clearAll()
+	return ev
+}
+
+// blocksOf lists the dirty block addresses of an entry.
+func (d *DBI) blocksOf(e *Entry) []addr.BlockAddr {
+	var out []addr.BlockAddr
+	base := uint64(e.Region) << d.regionShift
+	for i := 0; i < d.granularity; i++ {
+		if e.bit(i) {
+			out = append(out, addr.BlockAddr(base|uint64(i)))
+		}
+	}
+	return out
+}
+
+// ClearDirty resets a block's dirty bit (the block was written back on a
+// cache eviction, Section 2.2.3). When the last dirty bit of an entry
+// clears, the entry is invalidated so it can track another row. It
+// reports whether the block was actually marked dirty.
+func (d *DBI) ClearDirty(b addr.BlockAddr) bool {
+	d.Stat.Cleans.Inc()
+	e := d.find(d.RegionOf(b))
+	if e == nil {
+		return false
+	}
+	off := d.offsetOf(b)
+	if !e.bit(off) {
+		return false
+	}
+	e.clearBit(off)
+	if e.DirtyCount() == 0 {
+		e.Valid = false
+	}
+	return true
+}
+
+// DirtyBlocksInRegion returns every dirty block co-located with b in its
+// DBI entry — the single query that powers aggressive writeback (AWB,
+// Section 3.1). The result includes b itself if dirty.
+func (d *DBI) DirtyBlocksInRegion(b addr.BlockAddr) []addr.BlockAddr {
+	d.Stat.Lookups.Inc()
+	e := d.find(d.RegionOf(b))
+	if e == nil {
+		return nil
+	}
+	return d.blocksOf(e)
+}
+
+// DirtyCount returns the total number of dirty blocks tracked.
+func (d *DBI) DirtyCount() int {
+	n := 0
+	for i := range d.entries {
+		if d.entries[i].Valid {
+			n += d.entries[i].DirtyCount()
+		}
+	}
+	return n
+}
+
+// ValidEntries returns the number of valid entries.
+func (d *DBI) ValidEntries() int {
+	n := 0
+	for i := range d.entries {
+		if d.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+package dram
+
+import (
+	"testing"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+	"dbisim/internal/event"
+)
+
+// BenchmarkRowHitStream measures controller throughput on a row-friendly
+// write stream (the AWB-shaped traffic).
+func BenchmarkRowHitStream(b *testing.B) {
+	var eng event.Engine
+	c, err := New(&eng, addr.Default(), config.Paper(1, config.TADIP).DRAM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Write(addr.BlockAddr(i))
+		if i&63 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkScatteredReads measures the row-conflict read path.
+func BenchmarkScatteredReads(b *testing.B) {
+	var eng event.Engine
+	c, err := New(&eng, addr.Default(), config.Paper(1, config.TADIP).DRAM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(addr.BlockAddr(i*131), nil)
+		if i&31 == 31 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

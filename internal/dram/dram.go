@@ -1,0 +1,324 @@
+// Package dram models the DDR3 main memory of the evaluated system: one
+// channel of banked DRAM with open-row policy, FR-FCFS scheduling, and a
+// write buffer drained when full — the memory-controller organization of
+// Table 1 in the DBI paper.
+//
+// The model works at transaction granularity with a time-reservation
+// scheme that captures bank-level parallelism: each transaction's
+// activate/precharge work runs on its bank (which may overlap other
+// banks' work and the data bus), while the 64B data burst serializes on
+// the shared channel. The row-buffer state of each bank decides whether
+// a transaction pays row-hit, row-closed or row-conflict preparation
+// time — the effect the paper's mechanisms exploit: writes (and reads)
+// that hit open rows complete several times faster than row conflicts,
+// so grouping writebacks by DRAM row raises drain throughput and keeps
+// read-opened rows open.
+package dram
+
+import (
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+	"dbisim/internal/event"
+	"dbisim/internal/stats"
+)
+
+// request is a queued memory transaction.
+type request struct {
+	block    addr.BlockAddr
+	row      addr.RowID
+	bank     int
+	enqueued event.Cycle
+	done     func() // nil for writes
+}
+
+// bankState tracks one bank's row buffer and busy horizon.
+type bankState struct {
+	open     bool
+	openRow  addr.RowID
+	freeAt   event.Cycle
+	twrUntil event.Cycle // write recovery: earliest allowed precharge
+}
+
+// Stats aggregates the DRAM-side statistics of Figure 6: read and write
+// row hit rates, plus the command counts the energy model consumes.
+type Stats struct {
+	Reads           stats.Counter
+	Writes          stats.Counter
+	ReadRowHits     stats.Counter
+	WriteRowHits    stats.Counter
+	RowClosed       stats.Counter // accesses to a precharged bank
+	RowConflicts    stats.Counter
+	Activates       stats.Counter
+	Precharges      stats.Counter
+	WriteBufHits    stats.Counter // reads served from the write buffer
+	DrainsStarted   stats.Counter
+	WriteBufOverflw stats.Counter // writes accepted beyond nominal capacity
+	ReadLatencySum  stats.Counter // summed cycles from enqueue to data
+	Refreshes       stats.Counter // auto-refresh commands issued
+}
+
+// Controller is the single-channel memory controller plus DRAM banks.
+type Controller struct {
+	Eng  *event.Engine
+	Geo  addr.Geometry
+	Prm  config.DRAMParams
+	Stat Stats
+
+	banks     []bankState
+	readQ     []request
+	writeQ    []request
+	inflight  int
+	draining  bool
+	busFreeAt event.Cycle
+	kickAt    event.Cycle // pending wakeup, 0 = none
+}
+
+// New builds a controller. The geometry's bank count must match the DRAM
+// parameters.
+func New(eng *event.Engine, geo addr.Geometry, p config.DRAMParams) (*Controller, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		Eng:   eng,
+		Geo:   geo,
+		Prm:   p,
+		banks: make([]bankState, p.Banks),
+	}
+	if p.RefreshInterval > 0 {
+		c.scheduleRefresh()
+	}
+	return c, nil
+}
+
+// scheduleRefresh arms the periodic auto-refresh: all banks close and
+// stay busy for RefreshLatency cycles every RefreshInterval cycles.
+func (c *Controller) scheduleRefresh() {
+	c.Eng.ScheduleAfter(event.Cycle(c.Prm.RefreshInterval), func() {
+		c.Stat.Refreshes.Inc()
+		until := c.Eng.Now() + event.Cycle(c.Prm.RefreshLatency)
+		for i := range c.banks {
+			c.banks[i].open = false
+			if c.banks[i].freeAt < until {
+				c.banks[i].freeAt = until
+			}
+		}
+		if c.busFreeAt < until {
+			c.busFreeAt = until
+		}
+		c.scheduleRefresh()
+	})
+}
+
+// Read enqueues a demand read for a block; done fires when data arrives.
+// A read that matches a buffered write is forwarded without a DRAM
+// access.
+func (c *Controller) Read(b addr.BlockAddr, done func()) {
+	for _, w := range c.writeQ {
+		if w.block == b {
+			c.Stat.WriteBufHits.Inc()
+			// Forwarding costs roughly a burst on the internal datapath.
+			c.Eng.ScheduleAfter(event.Cycle(c.Prm.TBurst), done)
+			return
+		}
+	}
+	row := c.Geo.RowOf(b)
+	c.readQ = append(c.readQ, request{
+		block: b, row: row, bank: c.Geo.BankOf(row),
+		enqueued: c.Eng.Now(), done: done,
+	})
+	c.kick()
+}
+
+// Write enqueues a writeback. Writes are posted: the producer never
+// waits. When the buffer reaches capacity the controller switches to the
+// write-drain phase until the low watermark is reached (drain-when-full).
+func (c *Controller) Write(b addr.BlockAddr) {
+	row := c.Geo.RowOf(b)
+	if len(c.writeQ) >= c.Prm.WriteBufferEntries {
+		c.Stat.WriteBufOverflw.Inc()
+	}
+	c.writeQ = append(c.writeQ, request{
+		block: b, row: row, bank: c.Geo.BankOf(row),
+		enqueued: c.Eng.Now(),
+	})
+	c.kick()
+}
+
+// WriteQueueLen reports buffered writes (diagnostics and LLC throttling).
+func (c *Controller) WriteQueueLen() int { return len(c.writeQ) }
+
+// ReadQueueLen reports pending reads.
+func (c *Controller) ReadQueueLen() int { return len(c.readQ) }
+
+// Draining reports whether the controller is in its write-drain phase.
+func (c *Controller) Draining() bool { return c.draining }
+
+// Idle reports whether no transaction is in flight and no work is queued.
+func (c *Controller) Idle() bool {
+	return c.inflight == 0 && len(c.readQ) == 0 && len(c.writeQ) == 0
+}
+
+// lookahead is how far ahead of the bus horizon the scheduler issues,
+// letting the next transaction's bank preparation overlap the current
+// burst.
+func (c *Controller) lookahead() event.Cycle { return event.Cycle(c.Prm.TBurst) }
+
+// kick issues transactions while the bus reservation horizon is near.
+func (c *Controller) kick() {
+	now := c.Eng.Now()
+	for {
+		if c.busFreeAt > now+c.lookahead() {
+			// Bus booked ahead; wake up when the horizon approaches.
+			c.wakeAt(c.busFreeAt - c.lookahead())
+			return
+		}
+		q, isWrite := c.selectQueue()
+		if q == nil {
+			return
+		}
+		idx := c.pick(*q)
+		req := (*q)[idx]
+		*q = append((*q)[:idx], (*q)[idx+1:]...)
+		c.issue(req, isWrite)
+	}
+}
+
+// wakeAt schedules a future kick, collapsing duplicates.
+func (c *Controller) wakeAt(at event.Cycle) {
+	if c.kickAt != 0 && c.kickAt <= at {
+		return
+	}
+	c.kickAt = at
+	c.Eng.Schedule(at, func() {
+		if c.kickAt == at {
+			c.kickAt = 0
+		}
+		c.kick()
+	})
+}
+
+// selectQueue applies the phase policy: drain writes when the buffer
+// filled (until the low watermark), otherwise serve reads, otherwise
+// opportunistically write.
+func (c *Controller) selectQueue() (*[]request, bool) {
+	if !c.draining && len(c.writeQ) >= c.Prm.WriteBufferEntries {
+		c.draining = true
+		c.Stat.DrainsStarted.Inc()
+	}
+	if c.draining && len(c.writeQ) <= c.Prm.WriteDrainLow {
+		c.draining = false
+	}
+	switch {
+	case c.draining && len(c.writeQ) > 0:
+		return &c.writeQ, true
+	case len(c.readQ) > 0:
+		return &c.readQ, false
+	case len(c.writeQ) > 0:
+		return &c.writeQ, true
+	}
+	return nil, false
+}
+
+// pick implements FR-FCFS within a queue: the oldest row-hit request
+// wins; with no row hits, the oldest request whose bank is soonest free.
+func (c *Controller) pick(q []request) int {
+	for i, r := range q {
+		b := c.banks[r.bank]
+		if b.open && b.openRow == r.row {
+			return i
+		}
+	}
+	return 0
+}
+
+// issue reserves bank and bus time for the transaction and schedules its
+// completion. TCAS is command-pipeline latency, not bus occupancy:
+// row-hit bursts stream back-to-back at TBurst spacing (the full channel
+// bandwidth grouped writebacks achieve), while each read's data still
+// arrives TCAS after its burst slot is won.
+func (c *Controller) issue(r request, isWrite bool) {
+	now := c.Eng.Now()
+	bank := &c.banks[r.bank]
+	conflict := bank.open && bank.openRow != r.row
+	prep := c.prepTime(bank, r, isWrite)
+	prepStart := bank.freeAt
+	if prepStart < now {
+		prepStart = now
+	}
+	// Write recovery (tWR) delays only the next precharge of the bank;
+	// same-row accesses after a write stream unimpeded.
+	if conflict && bank.twrUntil > prepStart {
+		prepStart = bank.twrUntil
+	}
+	dataStart := prepStart + prep
+	if dataStart < c.busFreeAt {
+		dataStart = c.busFreeAt
+	}
+	done := dataStart + event.Cycle(c.Prm.TBurst)
+	c.busFreeAt = done
+	bank.freeAt = done
+	if isWrite {
+		bank.twrUntil = done + event.Cycle(c.Prm.TWR)
+	}
+	bank.open = true
+	bank.openRow = r.row
+
+	c.inflight++
+	c.Eng.Schedule(done, func() {
+		c.inflight--
+		if isWrite {
+			c.Stat.Writes.Inc()
+			c.kick()
+			return
+		}
+		c.Stat.Reads.Inc()
+		c.kick()
+		// Data reaches the requester TCAS after the burst completes.
+		c.Eng.ScheduleAfter(event.Cycle(c.Prm.TCAS), func() {
+			c.Stat.ReadLatencySum.Add(uint64(c.Eng.Now() - r.enqueued))
+			if r.done != nil {
+				r.done()
+			}
+		})
+	})
+}
+
+// prepTime returns the bank-preparation time implied by the row state and
+// updates hit/miss statistics.
+func (c *Controller) prepTime(bank *bankState, r request, isWrite bool) event.Cycle {
+	switch {
+	case bank.open && bank.openRow == r.row:
+		if isWrite {
+			c.Stat.WriteRowHits.Inc()
+		} else {
+			c.Stat.ReadRowHits.Inc()
+		}
+		return 0
+	case !bank.open:
+		c.Stat.RowClosed.Inc()
+		c.Stat.Activates.Inc()
+		return event.Cycle(c.Prm.TRCD)
+	default:
+		c.Stat.RowConflicts.Inc()
+		c.Stat.Precharges.Inc()
+		c.Stat.Activates.Inc()
+		return event.Cycle(c.Prm.TRP + c.Prm.TRCD)
+	}
+}
+
+// ReadRowHitRate returns the fraction of DRAM reads that hit an open row.
+func (s *Stats) ReadRowHitRate() float64 {
+	return stats.Ratio(s.ReadRowHits.Value(), s.Reads.Value())
+}
+
+// WriteRowHitRate returns the fraction of DRAM writes that hit an open
+// row — the quantity Figure 6b reports.
+func (s *Stats) WriteRowHitRate() float64 {
+	return stats.Ratio(s.WriteRowHits.Value(), s.Writes.Value())
+}
+
+// AvgReadLatency returns mean cycles from read enqueue to data.
+func (s *Stats) AvgReadLatency() float64 {
+	return stats.Ratio(s.ReadLatencySum.Value(), s.Reads.Value())
+}

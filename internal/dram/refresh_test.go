@@ -1,0 +1,77 @@
+package dram
+
+import (
+	"testing"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+	"dbisim/internal/event"
+)
+
+func TestRefreshBlocksBanks(t *testing.T) {
+	var eng event.Engine
+	p := config.Paper(1, config.TADIP).DRAM
+	p.RefreshInterval = 1000
+	p.RefreshLatency = 300
+	c, err := New(&eng, addr.Default(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A read issued right after a refresh point must wait out tRFC.
+	var servedAt event.Cycle
+	eng.Schedule(1001, func() {
+		c.Read(addr.BlockAddr(0), func() { servedAt = eng.Now() })
+	})
+	eng.RunUntil(2500)
+	// Refresh at 1000 blocks banks until 1300; read needs ~90 cycles
+	// after that.
+	if servedAt < 1300 {
+		t.Fatalf("read served at %d, inside the refresh window", servedAt)
+	}
+	if c.Stat.Refreshes.Value() == 0 {
+		t.Fatal("no refreshes counted")
+	}
+}
+
+func TestRefreshClosesRows(t *testing.T) {
+	var eng event.Engine
+	p := config.Paper(1, config.TADIP).DRAM
+	p.RefreshInterval = 10_000
+	p.RefreshLatency = 300
+	c, err := New(&eng, addr.Default(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open row 0 in bank 0, wait past a refresh, access row 0 again:
+	// the refresh closed it, so the second access is not a row hit.
+	// (Run is bounded: the armed refresh reschedules itself forever.)
+	c.Read(addr.BlockAddr(0), nil)
+	eng.RunUntil(5_000)
+	eng.Schedule(11_000, func() {
+		c.Read(addr.BlockAddr(1), nil)
+	})
+	eng.RunUntil(20_000)
+	if c.Stat.ReadRowHits.Value() != 0 {
+		t.Fatalf("row hit across a refresh: %d", c.Stat.ReadRowHits.Value())
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	var eng event.Engine
+	p := config.Paper(1, config.TADIP).DRAM
+	if p.RefreshInterval != 0 {
+		t.Fatal("refresh enabled in the default preset")
+	}
+	c, err := New(&eng, addr.Default(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Read(addr.BlockAddr(0), nil)
+	eng.Run()
+	if eng.Pending() != 0 {
+		t.Fatal("pending refresh events with refresh disabled")
+	}
+	if c.Stat.Refreshes.Value() != 0 {
+		t.Fatal("phantom refreshes")
+	}
+}

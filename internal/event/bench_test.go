@@ -1,0 +1,34 @@
+package event
+
+import "testing"
+
+// BenchmarkScheduleRun measures raw engine throughput: schedule-and-fire
+// of chained events, the backbone cost of every simulation.
+func BenchmarkScheduleRun(b *testing.B) {
+	var e Engine
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.ScheduleAfter(1, step)
+		}
+	}
+	b.ResetTimer()
+	e.ScheduleAfter(1, step)
+	e.Run()
+}
+
+// BenchmarkScheduleFanout measures heap behaviour with many pending
+// events. Offsets are relative to the advancing clock: the engine
+// forbids scheduling in the past.
+func BenchmarkScheduleFanout(b *testing.B) {
+	var e Engine
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Cycle(i%1024), func() {})
+		if e.Pending() >= 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

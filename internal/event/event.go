@@ -1,0 +1,164 @@
+// Package event provides the deterministic event-driven simulation engine
+// that drives every timed component in the simulator (cores, caches, the
+// DBI, the memory controller).
+//
+// The engine maintains a virtual clock measured in CPU cycles and a
+// priority queue of scheduled callbacks. Events scheduled for the same
+// cycle fire in the order they were scheduled, which makes simulations
+// fully deterministic and therefore reproducible.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, in CPU clock cycles.
+type Cycle uint64
+
+// Func is a callback fired when its scheduled cycle is reached.
+type Func func()
+
+type item struct {
+	at  Cycle
+	seq uint64
+	fn  Func
+}
+
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x any)   { *q = append(*q, x.(*item)) }
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a deterministic discrete-event simulator clock.
+// The zero value is ready to use.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	q       queue
+	fired   uint64
+	stopped bool
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// Schedule registers fn to run at absolute cycle at. Scheduling in the
+// past (at < Now) panics: it is always a component bug, and silently
+// reordering time would corrupt the simulation.
+func (e *Engine) Schedule(at Cycle, fn Func) {
+	if fn == nil {
+		panic("event: Schedule called with nil callback")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("event: scheduling at cycle %d in the past (now %d)", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.q, &item{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter registers fn to run delta cycles from now.
+func (e *Engine) ScheduleAfter(delta Cycle, fn Func) {
+	e.Schedule(e.now+delta, fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its cycle. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.q) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.q).(*item)
+	e.now = it.at
+	e.fired++
+	it.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// scheduled after the limit cycle. The clock never advances past limit.
+func (e *Engine) RunUntil(limit Cycle) {
+	e.stopped = false
+	for len(e.q) > 0 && !e.stopped {
+		if e.q[0].at > limit {
+			break
+		}
+		e.Step()
+	}
+	if e.now < limit && !e.stopped {
+		e.now = limit
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.q) > 0 && !e.stopped {
+		e.Step()
+	}
+}
+
+// Stop makes the current Run or RunUntil return after the in-flight
+// event completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Ticker invokes a callback every Period cycles while active. It is the
+// building block for components with per-cycle work (e.g. cache ports,
+// the DRAM command scheduler) that want to avoid scheduling events during
+// idle stretches: the component arms the ticker only while it has work.
+type Ticker struct {
+	Engine *Engine
+	Period Cycle
+	Tick   Func
+	armed  bool
+}
+
+// Arm starts the ticker if it is not already running. The first tick
+// fires Period cycles from now.
+func (t *Ticker) Arm() {
+	if t.armed {
+		return
+	}
+	if t.Period == 0 {
+		panic("event: Ticker with zero period")
+	}
+	t.armed = true
+	t.Engine.ScheduleAfter(t.Period, t.tick)
+}
+
+// Armed reports whether the ticker is currently scheduled.
+func (t *Ticker) Armed() bool { return t.armed }
+
+// Disarm stops future ticks. A tick already scheduled for this period
+// still fires but is ignored.
+func (t *Ticker) Disarm() { t.armed = false }
+
+func (t *Ticker) tick() {
+	if !t.armed {
+		return
+	}
+	t.armed = false
+	t.Tick()
+	// Tick may re-arm; if it did not, the ticker stays idle.
+}

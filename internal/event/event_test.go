@@ -1,0 +1,216 @@
+package event
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(10, func() { got = append(got, 10) })
+	e.Schedule(5, func() { got = append(got, 5) })
+	e.Schedule(7, func() { got = append(got, 7) })
+	e.Run()
+	want := []int{5, 7, 10}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(42, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-cycle events fired out of scheduling order: %v", got)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.Schedule(3, func() { fired++ })
+	e.Schedule(8, func() { fired++ })
+	e.Schedule(20, func() { fired++ })
+	e.RunUntil(10)
+	if fired != 2 {
+		t.Fatalf("fired %d events by cycle 10, want 2", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want clock advanced to limit 10", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(25)
+	if fired != 3 || e.Now() != 25 {
+		t.Fatalf("after second RunUntil: fired=%d now=%d", fired, e.Now())
+	}
+}
+
+func TestScheduleAfterChains(t *testing.T) {
+	var e Engine
+	var ticks []Cycle
+	var step func()
+	step = func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) < 5 {
+			e.ScheduleAfter(4, step)
+		}
+	}
+	e.ScheduleAfter(4, step)
+	e.Run()
+	for i, c := range ticks {
+		if want := Cycle(4 * (i + 1)); c != want {
+			t.Fatalf("tick %d at cycle %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	var e Engine
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Cycle(i), func() {
+			fired++
+			if fired == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired %d, want 3 after Stop", fired)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Fatal("Step on empty queue reported an event")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	var e Engine
+	for i := 0; i < 17; i++ {
+		e.Schedule(Cycle(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 17 {
+		t.Fatalf("Fired = %d, want 17", e.Fired())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	var e Engine
+	count := 0
+	var tk Ticker
+	tk = Ticker{Engine: &e, Period: 3, Tick: func() {
+		count++
+		if count < 4 {
+			tk.Arm()
+		}
+	}}
+	tk.Arm()
+	if !tk.Armed() {
+		t.Fatal("ticker not armed after Arm")
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("ticked %d times, want 4", count)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now = %d, want 12", e.Now())
+	}
+}
+
+func TestTickerDisarm(t *testing.T) {
+	var e Engine
+	count := 0
+	tk := Ticker{Engine: &e, Period: 2, Tick: func() { count++ }}
+	tk.Arm()
+	tk.Disarm()
+	e.Run()
+	if count != 0 {
+		t.Fatalf("disarmed ticker still ticked %d times", count)
+	}
+}
+
+func TestTickerDoubleArm(t *testing.T) {
+	var e Engine
+	count := 0
+	tk := Ticker{Engine: &e, Period: 2, Tick: func() { count++ }}
+	tk.Arm()
+	tk.Arm() // must not schedule twice
+	e.Run()
+	if count != 1 {
+		t.Fatalf("double Arm fired %d ticks, want 1", count)
+	}
+}
+
+// Property: for any set of scheduled cycles, events fire in nondecreasing
+// cycle order and the engine clock equals the max cycle at the end.
+func TestQuickMonotonicClock(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var e Engine
+		var fireOrder []Cycle
+		var max Cycle
+		for _, r := range raw {
+			c := Cycle(r)
+			if c > max {
+				max = c
+			}
+			e.Schedule(c, func() { fireOrder = append(fireOrder, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fireOrder); i++ {
+			if fireOrder[i] < fireOrder[i-1] {
+				return false
+			}
+		}
+		return len(raw) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"dbisim/internal/config"
+	"dbisim/internal/stats"
+)
+
+// AblationResult collects the design-choice sweeps DESIGN.md calls out:
+// the memory controller's write-buffer depth (the FR-FCFS regrouping
+// window), the drain-stop watermark, and the DBI associativity. Each
+// sweep reports the write row hit rate and IPC of DBI+AWB on the
+// write-sensitive benchmark subset.
+type AblationResult struct {
+	WriteBufferEntries []int
+	WBufWriteRHR       map[int]float64
+	WBufIPC            map[int]float64
+
+	DrainLow     []int
+	DrainIPC     map[int]float64
+	DrainStarted map[int]float64
+
+	DBIAssoc    []int
+	DBIAssocIPC map[int]float64
+}
+
+// Ablation sweeps the secondary design parameters to show which carry
+// the mechanism and which are second-order.
+func Ablation(o Options) (*AblationResult, error) {
+	benches := table6Benches(o.Quick)
+	warm, meas := o.singleBudgets()
+	res := &AblationResult{
+		WriteBufferEntries: []int{16, 64, 256},
+		WBufWriteRHR:       map[int]float64{},
+		WBufIPC:            map[int]float64{},
+		DrainLow:           []int{0, 16, 48},
+		DrainIPC:           map[int]float64{},
+		DrainStarted:       map[int]float64{},
+		DBIAssoc:           []int{4, 8, 16},
+		DBIAssocIPC:        map[int]float64{},
+	}
+
+	sweep := func(mut func(*config.SystemConfig)) (ipc, wrhr, drains float64, err error) {
+		var ipcs, rhrs, drs []float64
+		for _, b := range benches {
+			cfg := config.Scaled(1, config.DBIAWB)
+			cfg.WarmupInstructions, cfg.MeasureInstructions = warm, meas
+			mut(&cfg)
+			r, err := runCfg(cfg, []string{b}, o.seed())
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			ipcs = append(ipcs, r.PerCore[0].IPC)
+			rhrs = append(rhrs, r.WriteRowHitRate)
+			drs = append(drs, float64(r.DrainsStarted))
+		}
+		return stats.GeoMean(ipcs), stats.Mean(rhrs), stats.Mean(drs), nil
+	}
+
+	for _, n := range res.WriteBufferEntries {
+		n := n
+		ipc, rhr, _, err := sweep(func(c *config.SystemConfig) {
+			c.DRAM.WriteBufferEntries = n
+			if c.DRAM.WriteDrainLow >= n {
+				c.DRAM.WriteDrainLow = n / 4
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.WBufIPC[n], res.WBufWriteRHR[n] = ipc, rhr
+	}
+	for _, low := range res.DrainLow {
+		low := low
+		ipc, _, drains, err := sweep(func(c *config.SystemConfig) {
+			c.DRAM.WriteDrainLow = low
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.DrainIPC[low], res.DrainStarted[low] = ipc, drains
+	}
+	for _, assoc := range res.DBIAssoc {
+		assoc := assoc
+		ipc, _, _, err := sweep(func(c *config.SystemConfig) {
+			c.DBI.Associativity = assoc
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.DBIAssocIPC[assoc] = ipc
+	}
+
+	w := o.out()
+	fprintf(w, "\nAblations (DBI+AWB on the write-sensitive subset)\n")
+	fprintf(w, "write buffer entries:")
+	for _, n := range res.WriteBufferEntries {
+		fprintf(w, "  %d: IPC %.4f, wRHR %.3f", n, res.WBufIPC[n], res.WBufWriteRHR[n])
+	}
+	fprintf(w, "\ndrain-stop watermark:")
+	for _, l := range res.DrainLow {
+		fprintf(w, "  %d: IPC %.4f (%.0f drains)", l, res.DrainIPC[l], res.DrainStarted[l])
+	}
+	fprintf(w, "\nDBI associativity:")
+	for _, a := range res.DBIAssoc {
+		fprintf(w, "  %d: IPC %.4f", a, res.DBIAssocIPC[a])
+	}
+	fprintf(w, "\n")
+	return res, nil
+}

@@ -1,0 +1,156 @@
+// Package experiments contains one runner per table and figure of the
+// DBI paper's evaluation (Section 6). Every runner builds the workloads,
+// sweeps the mechanisms, renders the same rows/series the paper reports
+// and returns structured results for the benchmark harness to assert on.
+//
+// The runners use the laptop-scale configuration (config.Scaled); the
+// per-experiment index and the paper-vs-measured record live in
+// DESIGN.md and EXPERIMENTS.md at the repository root.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dbisim/internal/config"
+	"dbisim/internal/system"
+	"dbisim/internal/trace"
+)
+
+// Options controls sweep sizes and output.
+type Options struct {
+	// Out receives the rendered tables; nil discards them.
+	Out io.Writer
+	// Quick shrinks instruction budgets and workload counts so the full
+	// suite finishes in minutes (the default for `go test -bench`).
+	Quick bool
+	// Seed fixes all randomness.
+	Seed int64
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// singleBudgets returns (warmup, measure) for single-core runs. Warmup
+// must stream enough blocks to fill the LLC with steady-state dirty
+// data; otherwise the baseline's deferred writebacks flatter it.
+func (o Options) singleBudgets() (uint64, uint64) {
+	if o.Quick {
+		return 800_000, 1_000_000
+	}
+	return 1_500_000, 2_500_000
+}
+
+// multiBudgets returns per-core (warmup, measure) for multi-core runs.
+// The shared LLC grows with the core count but so does the combined fill
+// rate, so the per-core warmup stays roughly constant.
+func (o Options) multiBudgets() (uint64, uint64) {
+	if o.Quick {
+		return 500_000, 700_000
+	}
+	return 800_000, 1_200_000
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// runSingle runs one benchmark on a 1-core system with the mechanism.
+func (o Options) runSingle(mech config.Mechanism, bench string) (system.Results, error) {
+	cfg := config.Scaled(1, mech)
+	cfg.WarmupInstructions, cfg.MeasureInstructions = o.singleBudgets()
+	sys, err := system.New(cfg, []string{bench}, o.seed())
+	if err != nil {
+		return system.Results{}, err
+	}
+	return sys.Run(), nil
+}
+
+// runMulti runs a multiprogrammed mix with the mechanism.
+func (o Options) runMulti(mech config.Mechanism, benches []string) (system.Results, error) {
+	cfg := config.Scaled(len(benches), mech)
+	cfg.WarmupInstructions, cfg.MeasureInstructions = o.multiBudgets()
+	sys, err := system.New(cfg, benches, o.seed())
+	if err != nil {
+		return system.Results{}, err
+	}
+	return sys.Run(), nil
+}
+
+// runCfg runs an explicit configuration on the given benchmarks.
+func runCfg(cfg config.SystemConfig, benches []string, seed int64) (system.Results, error) {
+	sys, err := system.New(cfg, benches, seed)
+	if err != nil {
+		return system.Results{}, err
+	}
+	return sys.Run(), nil
+}
+
+// weightedSpeedup is a convenience wrapper over system.WeightedSpeedup.
+func weightedSpeedup(r system.Results, alone map[string]float64) float64 {
+	return system.WeightedSpeedup(r.PerCore, alone)
+}
+
+// aloneIPC measures each benchmark's single-core IPC on the baseline
+// machine — the denominator of every speedup metric (Section 5).
+func (o Options) aloneIPC(benches []string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, b := range benches {
+		if _, ok := out[b]; ok {
+			continue
+		}
+		r, err := o.runSingle(config.Baseline, b)
+		if err != nil {
+			return nil, err
+		}
+		out[b] = r.PerCore[0].IPC
+	}
+	return out, nil
+}
+
+// uniqueBenches flattens mixes into the set of distinct benchmarks.
+func uniqueBenches(mixes [][]string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range mixes {
+		for _, b := range m {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// fig6Mechanisms are the mechanisms Figure 6 plots.
+func fig6Mechanisms() []config.Mechanism {
+	return []config.Mechanism{
+		config.TADIP, config.DAWB, config.VWQ,
+		config.DBI, config.DBIAWB, config.DBICLB, config.DBIAWBCLB,
+	}
+}
+
+// fig7Mechanisms are the mechanisms Figure 7 plots.
+func fig7Mechanisms() []config.Mechanism {
+	return []config.Mechanism{
+		config.Baseline, config.TADIP, config.DAWB,
+		config.DBI, config.DBIAWB, config.DBICLB, config.DBIAWBCLB,
+	}
+}
+
+// benchList returns the benchmarks Figure 6 sweeps (all models).
+func benchList(_ bool) []string {
+	return trace.Benchmarks()
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

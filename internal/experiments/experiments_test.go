@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dbisim/internal/config"
+)
+
+// tiny returns options with the smallest budgets that still exercise the
+// mechanisms, for unit-testing the runners themselves.
+func tiny() Options {
+	return Options{Quick: true, Seed: 7}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.out() == nil {
+		t.Fatal("nil writer not defaulted")
+	}
+	if o.seed() != 42 {
+		t.Fatal("seed default wrong")
+	}
+	w, m := o.singleBudgets()
+	if w == 0 || m == 0 {
+		t.Fatal("zero budgets")
+	}
+	qw, _ := Options{Quick: true}.singleBudgets()
+	if qw >= w {
+		t.Fatal("quick budgets not smaller")
+	}
+}
+
+func TestTable4And5Render(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table4(Options{Out: &buf})
+	if len(rows) != 2 {
+		t.Fatalf("Table4 rows = %d", len(rows))
+	}
+	if !strings.Contains(buf.String(), "Table 4") {
+		t.Fatal("Table 4 not rendered")
+	}
+	buf.Reset()
+	rows5 := Table5(Options{Out: &buf})
+	if len(rows5) != 4 {
+		t.Fatalf("Table5 rows = %d", len(rows5))
+	}
+	if !strings.Contains(buf.String(), "Table 5") {
+		t.Fatal("Table 5 not rendered")
+	}
+}
+
+func TestCaseStudyRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	var buf bytes.Buffer
+	o := tiny()
+	o.Out = &buf
+	res, err := CaseStudy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WS) != 5 {
+		t.Fatalf("WS entries = %d", len(res.WS))
+	}
+	for m, ws := range res.WS {
+		if ws <= 0 {
+			t.Fatalf("%v WS = %v", m, ws)
+		}
+	}
+	// The paper's case-study ordering: every DBI variant beats baseline.
+	if res.WS[config.DBIAWBCLB] <= res.WS[config.Baseline] {
+		t.Fatal("DBI+AWB+CLB did not beat baseline on the case study")
+	}
+	if !strings.Contains(buf.String(), "case study") {
+		t.Fatal("not rendered")
+	}
+}
+
+func TestCLBSensitivityRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res, err := CLBSensitivity(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IPC) != 3 {
+		t.Fatalf("thresholds = %d", len(res.IPC))
+	}
+	// Section 6.4: no significant difference across reasonable values.
+	if res.Spread > 0.15 {
+		t.Fatalf("CLB spread %v too large", res.Spread)
+	}
+}
+
+func TestDBIPolicyRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res, err := DBIPolicy(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GMeanIPC) != 5 {
+		t.Fatalf("policies = %d", len(res.GMeanIPC))
+	}
+	lrw := res.GMeanIPC[config.DBILRW]
+	if lrw <= 0 {
+		t.Fatal("LRW IPC zero")
+	}
+	// Paper: LRW comparable to or better than the others. Allow 10%
+	// slack for the scaled configuration.
+	for pol, ipc := range res.GMeanIPC {
+		if ipc > lrw*1.10 {
+			t.Fatalf("%v (%.4f) clearly beats LRW (%.4f)", pol, ipc, lrw)
+		}
+	}
+}
+
+func TestAreaPowerRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res, err := AreaPower(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AreaReductionQuarter < 0.05 || res.AreaReductionQuarter > 0.11 {
+		t.Fatalf("area reduction α=1/4 = %v, want ≈0.08", res.AreaReductionQuarter)
+	}
+	if res.AreaReductionHalf >= res.AreaReductionQuarter {
+		t.Fatal("α=1/2 must save less area")
+	}
+	// Row-hit gains must reduce DRAM energy on the write-heavy subset.
+	if res.DRAMEnergyReduction <= 0 {
+		t.Fatalf("DRAM energy reduction = %v, want positive", res.DRAMEnergyReduction)
+	}
+}
+
+func TestMixesFor(t *testing.T) {
+	o := tiny()
+	mixes := o.mixesFor(4)
+	if len(mixes) == 0 {
+		t.Fatal("no mixes")
+	}
+	for _, m := range mixes {
+		if len(m.Benches) != 4 {
+			t.Fatalf("%s: %d benches", m.Name, len(m.Benches))
+		}
+	}
+	full := Options{Seed: 7}
+	if len(full.mixesFor(2)) < len(mixes) {
+		t.Fatal("full mode has fewer mixes than quick")
+	}
+}
+
+func TestFlushExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	o := tiny()
+	o.Out = &buf
+	res, err := Flush(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup <= 1 {
+		t.Fatalf("DBI flush speedup = %v, want > 1", res.Speedup)
+	}
+	if res.TagWalkLookups <= res.DBIWalkLookups {
+		t.Fatal("tag walk should need more lookups than the DBI walk")
+	}
+	if !strings.Contains(buf.String(), "flush") {
+		t.Fatal("not rendered")
+	}
+}
+
+func TestUniqueBenches(t *testing.T) {
+	got := uniqueBenches([][]string{{"a", "b"}, {"b", "c"}})
+	if len(got) != 3 {
+		t.Fatalf("unique = %v", got)
+	}
+}

@@ -1,0 +1,45 @@
+package llc
+
+import "dbisim/internal/addr"
+
+// DMACoherenceCheck answers the bulk-DMA coherence question of Section 7:
+// before a device reads the physical range [lo, hi) from memory, which
+// cached blocks are dirty and must be written back first?
+//
+// A DBI-augmented cache answers with one DBI query per region (each
+// query covers a whole row's worth of blocks); a conventional cache must
+// look up every block of the range in the tag store. The returned slice
+// lists the dirty blocks; lookups reports how many structure queries the
+// answer cost, the quantity the paper argues the DBI collapses.
+func (l *LLC) DMACoherenceCheck(lo, hi addr.BlockAddr) (dirty []addr.BlockAddr, lookups uint64) {
+	if hi <= lo {
+		return nil, 0
+	}
+	if l.DBI != nil {
+		before := l.DBI.Stat.Lookups.Value()
+		dirty = l.DBI.DirtyInRange(lo, hi)
+		return dirty, l.DBI.Stat.Lookups.Value() - before
+	}
+	for b := lo; b < hi; b++ {
+		lookups++
+		l.Cache.Stats.TagLookups.Inc()
+		if l.Cache.IsDirty(b) {
+			dirty = append(dirty, b)
+		}
+	}
+	return dirty, lookups
+}
+
+// DMAWriteback performs the writebacks a DMACoherenceCheck demands and
+// cleans the blocks, leaving them resident: the device will read
+// consistent data from memory.
+func (l *LLC) DMAWriteback(blocks []addr.BlockAddr) {
+	for _, b := range blocks {
+		l.mem.Write(b)
+		if l.DBI != nil {
+			l.DBI.ClearDirty(b)
+		} else {
+			l.Cache.SetDirty(b, false)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package llc
+
+import (
+	"testing"
+
+	"dbisim/internal/config"
+)
+
+func TestDMACoherenceConventional(t *testing.T) {
+	eng, l, mem := build(t, config.TADIP)
+	l.Writeback(100, 0)
+	l.Writeback(150, 0)
+	l.Writeback(999, 0) // outside the range
+	eng.Run()
+	dirty, lookups := l.DMACoherenceCheck(64, 256)
+	if len(dirty) != 2 {
+		t.Fatalf("dirty = %v", dirty)
+	}
+	// Conventional: one lookup per block of the range.
+	if lookups != 256-64 {
+		t.Fatalf("lookups = %d, want %d", lookups, 256-64)
+	}
+	l.DMAWriteback(dirty)
+	if got, _ := l.DMACoherenceCheck(64, 256); len(got) != 0 {
+		t.Fatalf("still dirty after DMA writeback: %v", got)
+	}
+	if len(mem.writes) < 2 {
+		t.Fatal("writebacks did not reach memory")
+	}
+}
+
+func TestDMACoherenceDBIUsesFewLookups(t *testing.T) {
+	eng, l, _ := build(t, config.DBI)
+	l.Writeback(100, 0)
+	l.Writeback(150, 0)
+	eng.Run()
+	dirty, lookups := l.DMACoherenceCheck(64, 256)
+	if len(dirty) != 2 {
+		t.Fatalf("dirty = %v", dirty)
+	}
+	// DBI: one bulk query regardless of range size.
+	if lookups >= 192 {
+		t.Fatalf("DBI DMA check cost %d lookups", lookups)
+	}
+	l.DMAWriteback(dirty)
+	if l.DBI.IsDirty(100) || l.DBI.IsDirty(150) {
+		t.Fatal("blocks still dirty in DBI")
+	}
+	if !l.Cache.Contains(100) {
+		t.Fatal("DMA writeback evicted the block")
+	}
+}
+
+func TestDMAEmptyRange(t *testing.T) {
+	_, l, _ := build(t, config.DBI)
+	if d, n := l.DMACoherenceCheck(100, 100); d != nil || n != 0 {
+		t.Fatal("empty range returned work")
+	}
+	if d, n := l.DMACoherenceCheck(200, 100); d != nil || n != 0 {
+		t.Fatal("inverted range returned work")
+	}
+}

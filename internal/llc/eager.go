@@ -1,0 +1,81 @@
+package llc
+
+import (
+	"dbisim/internal/addr"
+	"dbisim/internal/event"
+)
+
+// Eager writeback (Section 7, "Fast Lookup for Dirty Status"): because
+// the DBI can cheaply answer "which rows have dirty blocks", the cache
+// can feed the memory controller's write buffer during idle periods
+// instead of waiting for evictions or buffer-full drains — the
+// opportunistic scheduling of Lee+ (eager writeback) and Wang & Jiménez
+// (rank-idle-time scheduling) without their dedicated structures.
+//
+// The implementation polls every EagerInterval cycles: when the write
+// buffer is below the low-water mark, it picks the least recently
+// written DBI entry, writes back its dirty blocks (row-grouped, through
+// the background scan engine) and cleans them.
+
+// EagerConfig controls the eager-writeback pump.
+type EagerConfig struct {
+	// Interval is the polling period in cycles.
+	Interval event.Cycle
+	// LowWater: pump only while the memory write queue is below this.
+	LowWater int
+}
+
+// memQueue is implemented by memories whose write-buffer occupancy the
+// eager pump can observe (the real dram.Controller does).
+type memQueue interface {
+	WriteQueueLen() int
+}
+
+// EnableEagerWriteback arms the pump. It requires a DBI mechanism (the
+// whole point is the cheap dirty-row query) and a Memory that exposes
+// its write-queue depth; it returns false if either is missing.
+func (l *LLC) EnableEagerWriteback(cfg EagerConfig) bool {
+	if l.DBI == nil {
+		return false
+	}
+	mq, ok := l.mem.(memQueue)
+	if !ok {
+		return false
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 500
+	}
+	if cfg.LowWater <= 0 {
+		cfg.LowWater = 8
+	}
+	var tick func()
+	tick = func() {
+		l.Eng.ScheduleAfter(cfg.Interval, tick)
+		if mq.WriteQueueLen() >= cfg.LowWater {
+			return
+		}
+		l.pumpEager()
+	}
+	l.Eng.ScheduleAfter(cfg.Interval, tick)
+	return true
+}
+
+// pumpEager flushes one DBI entry's dirty blocks (the least recently
+// written entry: the row least likely to absorb further writes soon).
+func (l *LLC) pumpEager() {
+	victim := l.DBI.OldestDirtyRow()
+	if victim == nil {
+		return
+	}
+	blocks := append([]addr.BlockAddr(nil), victim...)
+	for _, b := range blocks {
+		l.DBI.ClearDirty(b)
+	}
+	l.Stat.EagerWBs.Add(uint64(len(blocks)))
+	l.enqueueScan(blocks, true, func(b addr.BlockAddr) {
+		l.Stat.FillerLookups.Inc()
+		if _, hit := l.Cache.Lookup(b); hit {
+			l.mem.Write(b)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package llc
+
+import (
+	"testing"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+)
+
+// queueMem is a fakeMem that also reports a (fixed) write-queue depth.
+type queueMem struct {
+	fakeMem
+	depth int
+}
+
+func (m *queueMem) WriteQueueLen() int { return m.depth }
+
+func buildEager(t *testing.T, mech config.Mechanism) (*queueMem, *LLC) {
+	t.Helper()
+	eng, l, _ := build(t, mech)
+	qm := &queueMem{fakeMem: fakeMem{eng: eng, lat: 100}}
+	l.mem = qm
+	return qm, l
+}
+
+func TestEagerRequiresDBIAndQueueView(t *testing.T) {
+	_, l, _ := build(t, config.TADIP)
+	if l.EnableEagerWriteback(EagerConfig{}) {
+		t.Fatal("eager writeback enabled without a DBI")
+	}
+	_, ldbi, _ := build(t, config.DBI)
+	// fakeMem does not expose a write queue.
+	if ldbi.EnableEagerWriteback(EagerConfig{}) {
+		t.Fatal("eager writeback enabled without a queue view")
+	}
+	qm, l2 := buildEager(t, config.DBI)
+	_ = qm
+	if !l2.EnableEagerWriteback(EagerConfig{Interval: 100, LowWater: 8}) {
+		t.Fatal("eager writeback refused a valid setup")
+	}
+}
+
+func TestEagerPumpsDuringIdle(t *testing.T) {
+	qm, l := buildEager(t, config.DBI)
+	qm.depth = 0 // memory idle
+	if !l.EnableEagerWriteback(EagerConfig{Interval: 50, LowWater: 8}) {
+		t.Fatal("setup failed")
+	}
+	for i := 0; i < 8; i++ {
+		l.Writeback(addr.BlockAddr(i), 0) // one region, 8 dirty blocks
+	}
+	l.Eng.RunUntil(5_000)
+	if l.Stat.EagerWBs.Value() == 0 {
+		t.Fatal("no eager writebacks during idle memory")
+	}
+	if l.DBI.DirtyCount() != 0 {
+		t.Fatalf("dirty blocks remain: %d", l.DBI.DirtyCount())
+	}
+	if len(qm.writes) < 8 {
+		t.Fatalf("memory writes = %d, want >= 8", len(qm.writes))
+	}
+	// The blocks stay resident (they were only cleaned).
+	if !l.Cache.Contains(0) {
+		t.Fatal("eager writeback evicted a block")
+	}
+}
+
+func TestEagerBacksOffWhenBusy(t *testing.T) {
+	qm, l := buildEager(t, config.DBI)
+	qm.depth = 64 // memory write buffer busy
+	if !l.EnableEagerWriteback(EagerConfig{Interval: 50, LowWater: 8}) {
+		t.Fatal("setup failed")
+	}
+	for i := 0; i < 8; i++ {
+		l.Writeback(addr.BlockAddr(i), 0)
+	}
+	l.Eng.RunUntil(5_000)
+	if l.Stat.EagerWBs.Value() != 0 {
+		t.Fatalf("eager pump ran against a busy memory: %d", l.Stat.EagerWBs.Value())
+	}
+	if l.DBI.DirtyCount() == 0 {
+		t.Fatal("dirty blocks vanished without the pump")
+	}
+}
+
+func TestOldestDirtyRowPicksLRW(t *testing.T) {
+	_, l, _ := build(t, config.DBI)
+	l.Writeback(0, 0)    // region 0, written first
+	l.Writeback(6400, 0) // region 100
+	l.Eng.Run()
+	row := l.DBI.OldestDirtyRow()
+	if len(row) != 1 || row[0] != 0 {
+		t.Fatalf("OldestDirtyRow = %v, want region 0's block", row)
+	}
+	// Rewriting region 0 makes region 100 the oldest.
+	l.Writeback(1, 0)
+	l.Eng.Run()
+	row = l.DBI.OldestDirtyRow()
+	if len(row) != 1 || row[0] != 6400 {
+		t.Fatalf("OldestDirtyRow after rewrite = %v", row)
+	}
+	// Empty DBI yields nil.
+	for _, b := range l.DBI.AllDirtyBlocks() {
+		l.DBI.ClearDirty(b)
+	}
+	if l.DBI.OldestDirtyRow() != nil {
+		t.Fatal("OldestDirtyRow on empty DBI")
+	}
+}

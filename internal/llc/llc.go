@@ -1,0 +1,500 @@
+// Package llc implements the shared last-level cache organizations the
+// paper evaluates (Table 2): the LRU baseline, TA-DIP, DRAM-aware
+// writeback (DAWB), the Virtual Write Queue (VWQ), Skip Cache, and the
+// DBI-augmented cache with the aggressive-writeback (AWB) and
+// cache-lookup-bypass (CLB) optimizations.
+//
+// The LLC owns the structures whose interplay produces the paper's
+// results: the serial tag store behind a contended port (demand lookups
+// beat filler lookups; nothing preempts), the Dirty-Block Index, the
+// Skip-Cache miss predictor, and the writeback path into the memory
+// controller's write buffer.
+package llc
+
+import (
+	"fmt"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/cache"
+	"dbisim/internal/config"
+	"dbisim/internal/dbi"
+	"dbisim/internal/event"
+	"dbisim/internal/misspred"
+	"dbisim/internal/stats"
+)
+
+// Memory is the LLC's view of the memory controller.
+type Memory interface {
+	// Read fetches a block; done fires when data arrives.
+	Read(b addr.BlockAddr, done func())
+	// Write posts a block writeback.
+	Write(b addr.BlockAddr)
+}
+
+// Stats aggregates LLC-side statistics. Tag-store lookups live in the
+// embedded cache's stats; these count mechanism-level events.
+type Stats struct {
+	Reads         stats.Counter // demand reads from the private levels
+	ReadHits      stats.Counter
+	ReadMisses    stats.Counter
+	Bypasses      stats.Counter // CLB: reads sent to memory without a tag lookup
+	BypassDirty   stats.Counter // CLB: bypass cancelled because the DBI said dirty
+	WritebackReqs stats.Counter // writeback requests from the private levels
+
+	FillerLookups  stats.Counter // background tag lookups (DAWB/VWQ/AWB)
+	ProactiveWBs   stats.Counter // row-mate writebacks issued early
+	DBIEvictionWBs stats.Counter // writebacks forced by DBI evictions
+	VictimWBs      stats.Counter // dirty blocks written back on eviction
+	WriteThroughs  stats.Counter // Skip Cache write-through traffic
+	MSHRMergeSkips stats.Counter // fills issued without MSHR merge (file full)
+	ScanDrops      stats.Counter // harvest scans dropped on a full scan queue
+	EagerWBs       stats.Counter // writebacks pumped during memory idle time
+}
+
+// scanJob is one row's worth of proactive-writeback work: the scanner
+// walks the candidate blocks one background tag lookup at a time — the
+// single scan state machine real DAWB/VWQ/AWB hardware uses. Paced jobs
+// (optional harvests) additionally rate-limit their lookups so filler
+// traffic cannot saturate the tag port; must-run jobs (DBI evictions)
+// proceed as fast as the port grants them.
+type scanJob struct {
+	blocks []addr.BlockAddr
+	paced  bool
+	visit  func(addr.BlockAddr)
+}
+
+// LLC is one shared last-level cache instance.
+type LLC struct {
+	Eng  *event.Engine
+	Geo  addr.Geometry
+	Mech config.Mechanism
+	Prm  config.CacheParams
+
+	Cache *cache.Cache
+	Port  *cache.Port
+	DBI   *dbi.DBI            // nil unless Mech.UsesDBI()
+	Pred  *misspred.Predictor // nil unless CLB or Skip Cache
+	mshr  *cache.MSHR
+	mem   Memory
+
+	// vwqDepth is how many LRU ways VWQ scans (the Set State Vector
+	// covers this many ways per set).
+	vwqDepth int
+
+	// dbiLat is the configured DBI lookup latency in cycles.
+	dbiLat event.Cycle
+
+	// scanQ bounds in-flight proactive-writeback work: one lookup at a
+	// time, a handful of queued rows. Jobs arriving at a full queue are
+	// dropped (the harvest is an optimization), except DBI-eviction
+	// writebacks, which are required for correctness and always enqueue
+	// (the paper's evict buffer).
+	scanQ      []scanJob
+	scanning   bool
+	nextScanAt event.Cycle // earliest start for the next paced lookup
+	scanWake   bool        // a delayed pumpScan is scheduled
+
+	Stat Stats
+}
+
+// scanQueueCap bounds the number of queued harvest rows.
+const scanQueueCap = 8
+
+// scanInterval is the pacing of optional harvest lookups (cycles per
+// lookup). It bounds filler tag traffic the way the paper's clipped
+// Figure-6c bars imply (~1 lookup per hundred cycles for the worst
+// DAWB cases).
+const scanInterval = 40
+
+// Config carries what New needs beyond the system config.
+type Config struct {
+	Cores int
+	Sys   config.SystemConfig
+	Mem   Memory
+	Seed  int64
+}
+
+// New builds the LLC for the configured mechanism.
+func New(eng *event.Engine, geo addr.Geometry, c Config) (*LLC, error) {
+	sys := c.Sys
+	l3, err := cache.New(sys.L3, c.Cores, c.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("llc: %w", err)
+	}
+	l := &LLC{
+		Eng:      eng,
+		Geo:      geo,
+		Mech:     sys.Mechanism,
+		Prm:      sys.L3,
+		Cache:    l3,
+		Port:     &cache.Port{Eng: eng},
+		mshr:     cache.NewMSHR(sys.L3.MSHRs),
+		mem:      c.Mem,
+		vwqDepth: 2,
+	}
+	if sys.Mechanism.UsesDBI() {
+		d, err := dbi.New(geo, sys.DBI, sys.L3.Blocks(), c.Seed+1)
+		if err != nil {
+			return nil, fmt.Errorf("llc: %w", err)
+		}
+		l.DBI = d
+		l.dbiLat = event.Cycle(sys.DBI.Latency)
+		if l.dbiLat == 0 {
+			l.dbiLat = 4
+		}
+	}
+	if sys.Mechanism.HasCLB() || sys.Mechanism == config.SkipCache {
+		p, err := misspred.New(sys.MissPred, sys.L3.Sets(), c.Cores)
+		if err != nil {
+			return nil, fmt.Errorf("llc: %w", err)
+		}
+		l.Pred = p
+	}
+	return l, nil
+}
+
+// tagLatency is the port occupancy of one tag lookup.
+func (l *LLC) tagLatency() event.Cycle { return event.Cycle(l.Prm.TagLatency) }
+
+// dataLatency is the additional latency of the (serial) data access.
+func (l *LLC) dataLatency() event.Cycle { return event.Cycle(l.Prm.DataLatency) }
+
+// dbiLatency is the DBI lookup latency.
+func (l *LLC) dbiLatency() event.Cycle {
+	if l.DBI == nil {
+		return 0
+	}
+	return l.dbiLat
+}
+
+// Read handles a demand read from the private levels. done fires when
+// the data is available to the requester.
+func (l *LLC) Read(b addr.BlockAddr, thread int, done func()) {
+	l.Stat.Reads.Inc()
+	set := l.Cache.SetOf(b)
+
+	// CLB / Skip Cache: predicted-miss accesses skip the tag lookup.
+	if l.Pred != nil && l.Pred.PredictMiss(thread, set, l.Eng.Now()) {
+		if l.Mech == config.SkipCache {
+			// Write-through cache: no block can be dirty; bypass
+			// unconditionally.
+			l.bypass(b, done)
+			return
+		}
+		// DBI+CLB: the bypass is safe only if the block is not dirty.
+		// The DBI answers in a few cycles, far cheaper than the tag
+		// store (Figure 4).
+		l.Eng.ScheduleAfter(l.dbiLatency(), func() {
+			if l.DBI.IsDirty(b) {
+				l.Stat.BypassDirty.Inc()
+				l.lookupRead(b, thread, done)
+				return
+			}
+			l.bypass(b, done)
+		})
+		return
+	}
+	l.lookupRead(b, thread, done)
+}
+
+// bypass forwards a read to memory without touching the tag store.
+// Bypassed fills do not allocate in the LLC (the block was predicted
+// dead on arrival).
+func (l *LLC) bypass(b addr.BlockAddr, done func()) {
+	l.Stat.Bypasses.Inc()
+	l.fetch(b, done, false, 0)
+}
+
+// lookupRead performs the demand tag lookup and the hit/miss handling.
+func (l *LLC) lookupRead(b addr.BlockAddr, thread int, done func()) {
+	set := l.Cache.SetOf(b)
+	l.Port.Submit(false, l.tagLatency(), func() {
+		hit := l.Cache.Access(b, thread)
+		if l.Pred != nil {
+			l.Pred.Observe(thread, set, hit, l.Eng.Now())
+		}
+		if hit {
+			l.Stat.ReadHits.Inc()
+			l.Eng.ScheduleAfter(l.dataLatency(), done)
+			return
+		}
+		l.Stat.ReadMisses.Inc()
+		l.fetch(b, done, true, thread)
+	})
+}
+
+// fetch issues the memory read (with MSHR merging) and optionally
+// allocates the block on fill.
+func (l *LLC) fetch(b addr.BlockAddr, done func(), allocate bool, thread int) {
+	key := uint64(b)
+	if l.mshr.Outstanding(key) {
+		l.mshr.Register(key, done)
+		return
+	}
+	if l.mshr.Full() {
+		// No MSHR available: issue an unmerged fill (counted; rare).
+		l.Stat.MSHRMergeSkips.Inc()
+		l.mem.Read(b, func() {
+			if allocate {
+				l.fill(b, thread)
+			}
+			done()
+		})
+		return
+	}
+	l.mshr.Register(key, done)
+	l.mem.Read(b, func() {
+		if allocate {
+			l.fill(b, thread)
+		}
+		l.mshr.Complete(key)
+	})
+}
+
+// fill inserts a clean block fetched from memory and handles the victim.
+func (l *LLC) fill(b addr.BlockAddr, thread int) {
+	victim := l.Cache.Insert(b, thread, false)
+	if victim.Valid {
+		l.handleEviction(victim)
+	}
+}
+
+// Writeback handles a writeback request from the private levels
+// (Section 2.2.2): insert/update the block, then record its dirty state
+// in the tag entry or the DBI depending on the mechanism.
+func (l *LLC) Writeback(b addr.BlockAddr, thread int) {
+	l.Stat.WritebackReqs.Inc()
+	l.Port.Submit(false, l.tagLatency(), func() {
+		switch l.Mech {
+		case config.SkipCache:
+			// Write-through: update/allocate but never hold dirty data.
+			victim := l.Cache.Insert(b, thread, false)
+			if victim.Valid {
+				l.handleEviction(victim)
+			}
+			l.Stat.WriteThroughs.Inc()
+			l.mem.Write(b)
+		default:
+			if l.DBI != nil {
+				victim := l.Cache.Insert(b, thread, false)
+				if victim.Valid {
+					l.handleEviction(victim)
+				}
+				l.dbiSetDirty(b)
+			} else {
+				victim := l.Cache.Insert(b, thread, true)
+				if victim.Valid {
+					l.handleEviction(victim)
+				}
+			}
+		}
+	})
+}
+
+// dbiSetDirty marks a block dirty in the DBI and services any DBI
+// eviction it causes: every block the displaced entry tracked is written
+// back (after a background tag lookup to read its data) and becomes
+// clean in the cache — the blocks themselves stay resident
+// (Section 2.2.4). The eviction goes through the evict buffer (scan
+// queue) so its writebacks interleave with demand traffic.
+func (l *LLC) dbiSetDirty(b addr.BlockAddr) {
+	ev, evicted := l.DBI.SetDirty(b)
+	if !evicted {
+		return
+	}
+	l.enqueueScan(ev.Blocks, true, func(blk addr.BlockAddr) {
+		l.Stat.FillerLookups.Inc()
+		if _, hit := l.Cache.Lookup(blk); hit {
+			l.Stat.DBIEvictionWBs.Inc()
+			l.mem.Write(blk)
+		}
+	})
+}
+
+// enqueueScan adds a row's candidate blocks to the scan queue. must
+// marks correctness-critical jobs (DBI evictions) that may not be
+// dropped when the queue is full and are not rate-limited.
+func (l *LLC) enqueueScan(blocks []addr.BlockAddr, must bool, visit func(addr.BlockAddr)) {
+	if len(blocks) == 0 {
+		return
+	}
+	if !must && len(l.scanQ) >= scanQueueCap {
+		l.Stat.ScanDrops.Inc()
+		return
+	}
+	job := scanJob{blocks: blocks, paced: !must, visit: visit}
+	if must {
+		// Correctness writebacks queue ahead of optional harvests.
+		i := 0
+		for i < len(l.scanQ) && !l.scanQ[i].paced {
+			i++
+		}
+		l.scanQ = append(l.scanQ, scanJob{})
+		copy(l.scanQ[i+1:], l.scanQ[i:])
+		l.scanQ[i] = job
+	} else {
+		l.scanQ = append(l.scanQ, job)
+	}
+	l.pumpScan()
+}
+
+// pumpScan advances the single scan state machine: one background tag
+// lookup in flight at a time, paced jobs no faster than one per
+// scanInterval cycles.
+func (l *LLC) pumpScan() {
+	if l.scanning || l.scanWake {
+		return
+	}
+	for len(l.scanQ) > 0 && len(l.scanQ[0].blocks) == 0 {
+		l.scanQ = l.scanQ[1:]
+	}
+	if len(l.scanQ) == 0 {
+		return
+	}
+	job := &l.scanQ[0]
+	now := l.Eng.Now()
+	if job.paced && now < l.nextScanAt {
+		l.scanWake = true
+		l.Eng.Schedule(l.nextScanAt, func() {
+			l.scanWake = false
+			l.pumpScan()
+		})
+		return
+	}
+	b := job.blocks[0]
+	visit := job.visit // by value: queue insertions may shift elements
+	job.blocks = job.blocks[1:]
+	if job.paced {
+		l.nextScanAt = now + scanInterval
+	}
+	l.scanning = true
+	l.Port.Submit(true, l.tagLatency(), func() {
+		l.scanning = false
+		visit(b)
+		l.pumpScan()
+	})
+}
+
+// handleEviction deals with a block displaced from the tag store
+// (Section 2.2.3): if it is dirty it must be written back, and the
+// DRAM-aware mechanisms additionally harvest its row-mates.
+func (l *LLC) handleEviction(victim cache.Block) {
+	dirty := victim.Dirty
+	if l.DBI != nil {
+		dirty = l.DBI.IsDirty(victim.Addr)
+	}
+	if !dirty {
+		return
+	}
+	l.Stat.VictimWBs.Inc()
+	l.mem.Write(victim.Addr)
+	if l.DBI != nil {
+		l.DBI.ClearDirty(victim.Addr)
+	}
+	switch {
+	case l.Mech == config.DAWB:
+		l.harvestDAWB(victim.Addr)
+	case l.Mech == config.VWQ:
+		l.harvestVWQ(victim.Addr)
+	case l.Mech.HasAWB():
+		l.harvestAWB(victim.Addr)
+	}
+}
+
+// harvestDAWB implements DRAM-aware writeback [Lee+, TR'10]: on a dirty
+// eviction, indiscriminately look up every other block of the victim's
+// DRAM row and write back those found dirty. The lookups are
+// filler-priority but still consume tag bandwidth — the 1.95× tag-lookup
+// inflation of Figure 6c.
+func (l *LLC) harvestDAWB(b addr.BlockAddr) {
+	row := l.Geo.RowOf(b)
+	mates := make([]addr.BlockAddr, 0, l.Geo.BlocksPerRow()-1)
+	for col := 0; col < l.Geo.BlocksPerRow(); col++ {
+		if mate := l.Geo.BlockInRow(row, col); mate != b {
+			mates = append(mates, mate)
+		}
+	}
+	l.enqueueScan(mates, false, func(mate addr.BlockAddr) {
+		l.Stat.FillerLookups.Inc()
+		if _, hit := l.Cache.Lookup(mate); hit && l.Cache.IsDirty(mate) {
+			l.Cache.SetDirty(mate, false)
+			l.Stat.ProactiveWBs.Inc()
+			l.mem.Write(mate)
+		}
+	})
+}
+
+// harvestVWQ implements the Virtual Write Queue [Stuecheli+, ISCA'10]:
+// like DAWB, but the Set State Vector filters lookups to sets that hold
+// dirty blocks among their LRU ways, and only blocks found in those ways
+// are written back.
+func (l *LLC) harvestVWQ(b addr.BlockAddr) {
+	row := l.Geo.RowOf(b)
+	var mates []addr.BlockAddr
+	for col := 0; col < l.Geo.BlocksPerRow(); col++ {
+		mate := l.Geo.BlockInRow(row, col)
+		if mate == b {
+			continue
+		}
+		// SSV check: free (a registered bit per set).
+		if l.Cache.DirtyInLowRanks(l.Cache.SetOf(mate), l.vwqDepth) {
+			mates = append(mates, mate)
+		}
+	}
+	l.enqueueScan(mates, false, func(mate addr.BlockAddr) {
+		l.Stat.FillerLookups.Inc()
+		way, hit := l.Cache.Lookup(mate)
+		if hit && l.Cache.IsDirty(mate) &&
+			l.Cache.RankOf(l.Cache.SetOf(mate), way) < l.vwqDepth {
+			l.Cache.SetDirty(mate, false)
+			l.Stat.ProactiveWBs.Inc()
+			l.mem.Write(mate)
+		}
+	})
+}
+
+// harvestAWB implements the paper's aggressive writeback (Section 3.1):
+// one DBI query yields exactly the dirty row-mates, so the tag store is
+// looked up only for blocks that are actually dirty.
+func (l *LLC) harvestAWB(b addr.BlockAddr) {
+	var mates []addr.BlockAddr
+	for _, mate := range l.DBI.DirtyBlocksInRegion(b) {
+		if mate != b {
+			mates = append(mates, mate)
+		}
+	}
+	l.enqueueScan(mates, false, func(mate addr.BlockAddr) {
+		l.Stat.FillerLookups.Inc()
+		if _, hit := l.Cache.Lookup(mate); hit && l.DBI.IsDirty(mate) {
+			l.DBI.ClearDirty(mate)
+			l.Stat.ProactiveWBs.Inc()
+			l.mem.Write(mate)
+		}
+	})
+}
+
+// TagLookups reports total tag-store lookups (Figure 6c's numerator).
+func (l *LLC) TagLookups() uint64 { return l.Cache.Stats.TagLookups.Value() }
+
+// Flush writes back every dirty block, using the DBI's row-grouped flush
+// when available (Section 7, "Cache Flushing"). It returns the number of
+// blocks written back. Flush is immediate (untimed); it exists for the
+// flush/DMA application examples, not the main performance loop.
+func (l *LLC) Flush() int {
+	n := 0
+	if l.DBI != nil {
+		for _, ev := range l.DBI.Flush() {
+			for _, b := range ev.Blocks {
+				l.mem.Write(b)
+				n++
+			}
+		}
+		return n
+	}
+	for _, b := range l.Cache.DirtyBlocks() {
+		l.Cache.SetDirty(b, false)
+		l.mem.Write(b)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+package llc
+
+import (
+	"testing"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+	"dbisim/internal/event"
+)
+
+func TestScanQueueDropsWhenFull(t *testing.T) {
+	eng, l, _ := build(t, config.DAWB)
+	// Enqueue far more optional jobs than the cap; extras are dropped.
+	for i := 0; i < scanQueueCap*3; i++ {
+		l.enqueueScan([]addr.BlockAddr{addr.BlockAddr(i)}, false, func(addr.BlockAddr) {})
+	}
+	if l.Stat.ScanDrops.Value() == 0 {
+		t.Fatal("no drops on overfull scan queue")
+	}
+	eng.Run()
+}
+
+func TestScanMustJobsNeverDropAndJumpQueue(t *testing.T) {
+	eng, l, _ := build(t, config.DBI)
+	var order []string
+	// Fill the queue with paced jobs.
+	for i := 0; i < scanQueueCap; i++ {
+		l.enqueueScan([]addr.BlockAddr{addr.BlockAddr(i)}, false, func(addr.BlockAddr) {
+			order = append(order, "paced")
+		})
+	}
+	// A must job enqueues even though the queue is full, ahead of the
+	// remaining paced jobs.
+	l.enqueueScan([]addr.BlockAddr{999}, true, func(addr.BlockAddr) {
+		order = append(order, "must")
+	})
+	eng.Run()
+	if len(order) != scanQueueCap+1 {
+		t.Fatalf("executed %d jobs, want %d", len(order), scanQueueCap+1)
+	}
+	// The must job ran before the tail of the paced backlog.
+	mustAt := -1
+	for i, s := range order {
+		if s == "must" {
+			mustAt = i
+		}
+	}
+	if mustAt < 0 || mustAt >= scanQueueCap {
+		t.Fatalf("must job ran at position %d of %d", mustAt, len(order))
+	}
+}
+
+func TestScanPacingThrottlesOptionalJobs(t *testing.T) {
+	eng, l, _ := build(t, config.DAWB)
+	var times []event.Cycle
+	blocks := make([]addr.BlockAddr, 5)
+	for i := range blocks {
+		blocks[i] = addr.BlockAddr(i)
+	}
+	l.enqueueScan(blocks, false, func(addr.BlockAddr) {
+		times = append(times, eng.Now())
+	})
+	eng.Run()
+	if len(times) != 5 {
+		t.Fatalf("visited %d blocks", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] < scanInterval {
+			t.Fatalf("paced lookups %d cycles apart, want >= %d",
+				times[i]-times[i-1], event.Cycle(scanInterval))
+		}
+	}
+}
+
+func TestScanMustJobsNotThrottled(t *testing.T) {
+	eng, l, _ := build(t, config.DBI)
+	var times []event.Cycle
+	blocks := make([]addr.BlockAddr, 5)
+	for i := range blocks {
+		blocks[i] = addr.BlockAddr(i)
+	}
+	l.enqueueScan(blocks, true, func(addr.BlockAddr) {
+		times = append(times, eng.Now())
+	})
+	eng.Run()
+	if len(times) != 5 {
+		t.Fatalf("visited %d blocks", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] >= scanInterval {
+			t.Fatalf("must lookups %d cycles apart — throttled", times[i]-times[i-1])
+		}
+	}
+}
+
+func TestScanEmptyJobIgnored(t *testing.T) {
+	eng, l, _ := build(t, config.DBI)
+	l.enqueueScan(nil, false, func(addr.BlockAddr) { t.Fatal("visited a block of an empty job") })
+	eng.Run()
+}

@@ -1,0 +1,50 @@
+package replacement
+
+// Ranker is implemented by policies that can order the ways of a set by
+// eviction priority: rank 0 is the next victim (LRU-most position).
+// The Virtual Write Queue's Set State Vector consults ranks to find dirty
+// blocks in the LRU ways without a full tag lookup.
+type Ranker interface {
+	// Rank returns the eviction rank of (set, way): 0 = next victim.
+	Rank(set, way int) int
+}
+
+// rank returns how many ways of the set have strictly smaller stamps
+// (ties broken by way index), i.e. the way's distance from the LRU end.
+func (s *lruState) rank(set, way int) int {
+	self := s.stamps[set*s.ways+way]
+	r := 0
+	for w := 0; w < s.ways; w++ {
+		if w == way {
+			continue
+		}
+		v := s.stamps[set*s.ways+w]
+		if v < self || (v == self && w < way) {
+			r++
+		}
+	}
+	return r
+}
+
+// Rank implements Ranker.
+func (l *LRU) Rank(set, way int) int { return l.s.rank(set, way) }
+
+// Rank implements Ranker.
+func (d *TADIP) Rank(set, way int) int { return d.s.rank(set, way) }
+
+// Rank implements Ranker: ways with larger RRPVs are closer to eviction
+// (rank 0), ties broken by way index.
+func (d *DRRIP) Rank(set, way int) int {
+	self := d.r.rrpv[set*d.r.ways+way]
+	r := 0
+	for w := 0; w < d.r.ways; w++ {
+		if w == way {
+			continue
+		}
+		v := d.r.rrpv[set*d.r.ways+w]
+		if v > self || (v == self && w < way) {
+			r++
+		}
+	}
+	return r
+}

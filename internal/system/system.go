@@ -1,0 +1,271 @@
+// Package system assembles a complete simulated machine — N trace-driven
+// cores with private L1/L2, one shared LLC in the configured mechanism,
+// and the DDR3 memory controller — and runs the two-phase (warmup,
+// measure) experiment protocol of Section 5 of the DBI paper.
+package system
+
+import (
+	"fmt"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+	"dbisim/internal/cpu"
+	"dbisim/internal/dram"
+	"dbisim/internal/event"
+	"dbisim/internal/llc"
+	"dbisim/internal/stats"
+	"dbisim/internal/trace"
+)
+
+// System is one assembled machine.
+type System struct {
+	Eng   event.Engine
+	Cfg   config.SystemConfig
+	Geo   addr.Geometry
+	Mem   *dram.Controller
+	LLC   *llc.LLC
+	Cores []*cpu.Core
+
+	benchNames []string
+	snap       snapshot
+}
+
+// CoreResult is one core's measured performance.
+type CoreResult struct {
+	Bench        string
+	IPC          float64
+	Instructions uint64
+	Cycles       uint64
+	MPKI         float64 // LLC demand reads per kilo instruction that missed
+	L1HitRate    float64
+}
+
+// Results aggregates everything the paper's figures report.
+type Results struct {
+	Mechanism config.Mechanism
+	PerCore   []CoreResult
+
+	// Figure 6 series (whole-run rates; the synthetic workloads are
+	// stationary, so whole-run and post-warmup rates agree closely).
+	WriteRowHitRate float64
+	ReadRowHitRate  float64
+	TagLookupsPKI   float64
+	MemWritesPKI    float64
+	MemReadsPKI     float64
+	LLCMPKI         float64
+
+	TotalInstructions uint64
+	// Measured-window DRAM command counts (for the energy model).
+	MemReads, MemWrites, MemActivates uint64
+	Bypasses                          uint64
+	FillerLookups                     uint64
+	DBIEvictions                      uint64
+	AvgReadLatency                    float64
+	PortQueueDelay                    uint64
+	DrainsStarted                     uint64
+}
+
+// New builds a system running the named benchmark on every core
+// (len(benches) must equal cfg.NumCores). Each core's footprint is
+// offset so address streams never overlap, exactly like distinct
+// processes in the paper's multiprogrammed workloads.
+func New(cfg config.SystemConfig, benches []string, seed int64) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(benches) != cfg.NumCores {
+		return nil, fmt.Errorf("system: %d benchmarks for %d cores", len(benches), cfg.NumCores)
+	}
+	s := &System{Cfg: cfg, Geo: addr.Default(), benchNames: benches}
+	mem, err := dram.New(&s.Eng, s.Geo, cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	s.Mem = mem
+	l3, err := llc.New(&s.Eng, s.Geo, llc.Config{
+		Cores: cfg.NumCores, Sys: cfg, Mem: mem, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.LLC = l3
+	for i := 0; i < cfg.NumCores; i++ {
+		p, err := trace.ByName(benches[i])
+		if err != nil {
+			return nil, err
+		}
+		gen := trace.New(p, addr.Addr(uint64(i+1)<<36), seed+int64(i)*131)
+		core, err := cpu.New(&s.Eng, i, cfg, gen, l3, seed+int64(i)*977)
+		if err != nil {
+			return nil, err
+		}
+		s.Cores = append(s.Cores, core)
+	}
+	return s, nil
+}
+
+// snapshot captures the global counters at the start of the measurement
+// window so harvest can report measured-window rates. Without it, the
+// warmup transient (an LLC filling with dirty blocks writes nothing to
+// memory) would distort every writeback-related comparison.
+type snapshot struct {
+	reads, writes             uint64
+	readRowHits, writeRowHits uint64
+	tagLookups, readMisses    uint64
+	bypasses, fillerLookups   uint64
+	dbiEvictions              uint64
+	readLatencySum            uint64
+	portQueueDelay, drains    uint64
+	activates                 uint64
+	coreIssued                []uint64
+}
+
+func (s *System) takeSnapshot() snapshot {
+	ms := &s.Mem.Stat
+	sn := snapshot{
+		reads:          ms.Reads.Value(),
+		writes:         ms.Writes.Value(),
+		readRowHits:    ms.ReadRowHits.Value(),
+		writeRowHits:   ms.WriteRowHits.Value(),
+		tagLookups:     s.LLC.TagLookups(),
+		readMisses:     s.LLC.Stat.ReadMisses.Value(),
+		bypasses:       s.LLC.Stat.Bypasses.Value(),
+		fillerLookups:  s.LLC.Stat.FillerLookups.Value(),
+		readLatencySum: ms.ReadLatencySum.Value(),
+		portQueueDelay: s.LLC.Port.QueueDelay.Value(),
+		drains:         ms.DrainsStarted.Value(),
+		activates:      ms.Activates.Value(),
+	}
+	if s.LLC.DBI != nil {
+		sn.dbiEvictions = s.LLC.DBI.Stat.Evictions.Value()
+	}
+	for _, c := range s.Cores {
+		sn.coreIssued = append(sn.coreIssued, c.Issued())
+	}
+	return sn
+}
+
+// Run executes warmup then measurement on every core and returns the
+// harvested results. Cores that finish early keep executing (preserving
+// contention) until the last core completes its measured budget. Global
+// rates are measured from the moment the last core finishes warmup.
+func (s *System) Run() Results {
+	remaining := len(s.Cores)
+	warming := len(s.Cores)
+	for _, c := range s.Cores {
+		c := c
+		c.Start(s.Cfg.WarmupInstructions, func() {
+			warming--
+			if warming == 0 {
+				s.snap = s.takeSnapshot()
+			}
+			// Warmup done: immediately begin this core's measure window.
+			c.Rebudget(s.Cfg.MeasureInstructions, func() {
+				remaining--
+				if remaining == 0 {
+					s.Eng.Stop()
+				}
+			})
+		})
+	}
+	s.Eng.Run()
+	return s.harvest()
+}
+
+func (s *System) harvest() Results {
+	r := Results{Mechanism: s.Cfg.Mechanism}
+	sn := &s.snap
+	var insts uint64
+	for i, c := range s.Cores {
+		measured := c.Issued()
+		if i < len(sn.coreIssued) {
+			measured -= sn.coreIssued[i]
+		}
+		ci := CoreResult{
+			Bench:        s.benchNames[i],
+			IPC:          c.IPC(),
+			Instructions: measured,
+			Cycles:       c.Cycles(),
+		}
+		ci.MPKI = stats.PerKilo(c.Stat.LLCAccesses.Value(), c.Stat.Instructions.Value())
+		ci.L1HitRate = stats.Ratio(c.Stat.L1Hits.Value(), c.Stat.Loads.Value()+c.Stat.Stores.Value())
+		insts += measured
+		r.PerCore = append(r.PerCore, ci)
+	}
+	r.TotalInstructions = insts
+	ms := &s.Mem.Stat
+	reads := ms.Reads.Value() - sn.reads
+	writes := ms.Writes.Value() - sn.writes
+	r.WriteRowHitRate = stats.Ratio(ms.WriteRowHits.Value()-sn.writeRowHits, writes)
+	r.ReadRowHitRate = stats.Ratio(ms.ReadRowHits.Value()-sn.readRowHits, reads)
+	r.TagLookupsPKI = stats.PerKilo(s.LLC.TagLookups()-sn.tagLookups, insts)
+	r.MemWritesPKI = stats.PerKilo(writes, insts)
+	r.MemReadsPKI = stats.PerKilo(reads, insts)
+	r.MemReads, r.MemWrites = reads, writes
+	r.MemActivates = ms.Activates.Value() - sn.activates
+	r.LLCMPKI = stats.PerKilo(
+		s.LLC.Stat.ReadMisses.Value()-sn.readMisses+
+			s.LLC.Stat.Bypasses.Value()-sn.bypasses, insts)
+	r.Bypasses = s.LLC.Stat.Bypasses.Value() - sn.bypasses
+	r.FillerLookups = s.LLC.Stat.FillerLookups.Value() - sn.fillerLookups
+	if s.LLC.DBI != nil {
+		r.DBIEvictions = s.LLC.DBI.Stat.Evictions.Value() - sn.dbiEvictions
+	}
+	r.AvgReadLatency = stats.Ratio(ms.ReadLatencySum.Value()-sn.readLatencySum, reads)
+	r.PortQueueDelay = s.LLC.Port.QueueDelay.Value() - sn.portQueueDelay
+	r.DrainsStarted = ms.DrainsStarted.Value() - sn.drains
+	return r
+}
+
+// WeightedSpeedup computes Σ IPCshared/IPCalone over cores, given the
+// alone-IPC of each benchmark measured on a single-core system with the
+// same mechanism's baseline (Section 5, Metrics).
+func WeightedSpeedup(shared []CoreResult, alone map[string]float64) float64 {
+	ws := 0.0
+	for _, c := range shared {
+		if a := alone[c.Bench]; a > 0 {
+			ws += c.IPC / a
+		}
+	}
+	return ws
+}
+
+// HarmonicSpeedup computes the harmonic mean of per-core speedups
+// (balances throughput and fairness).
+func HarmonicSpeedup(shared []CoreResult, alone map[string]float64) float64 {
+	var sum float64
+	n := 0
+	for _, c := range shared {
+		if a := alone[c.Bench]; a > 0 && c.IPC > 0 {
+			sum += a / c.IPC
+			n++
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(n) / sum
+}
+
+// MaxSlowdown returns max over cores of IPCalone/IPCshared (lower is
+// fairer).
+func MaxSlowdown(shared []CoreResult, alone map[string]float64) float64 {
+	m := 0.0
+	for _, c := range shared {
+		if a := alone[c.Bench]; a > 0 && c.IPC > 0 {
+			if s := a / c.IPC; s > m {
+				m = s
+			}
+		}
+	}
+	return m
+}
+
+// InstructionThroughput sums per-core IPC.
+func InstructionThroughput(shared []CoreResult) float64 {
+	t := 0.0
+	for _, c := range shared {
+		t += c.IPC
+	}
+	return t
+}

@@ -1,0 +1,185 @@
+package system
+
+import (
+	"testing"
+
+	"dbisim/internal/config"
+)
+
+// smallCfg shrinks the scaled preset further (quarter-size hierarchy,
+// short budgets) so each test run finishes in tens of milliseconds while
+// still reaching steady-state evictions.
+func smallCfg(cores int, mech config.Mechanism) config.SystemConfig {
+	cfg := config.Scaled(cores, mech)
+	cfg.L1.SizeBytes = 8 << 10
+	cfg.L2.SizeBytes = 32 << 10
+	cfg.L3.SizeBytes = 256 << 10 * uint64(cores)
+	cfg.WarmupInstructions = 80_000
+	cfg.MeasureInstructions = 160_000
+	cfg.MissPred.EpochCycles = 200_000
+	return cfg
+}
+
+func TestNewValidations(t *testing.T) {
+	if _, err := New(smallCfg(1, config.TADIP), []string{"mcf", "lbm"}, 1); err == nil {
+		t.Fatal("benchmark/core count mismatch accepted")
+	}
+	if _, err := New(smallCfg(1, config.TADIP), []string{"nonexistent"}, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	cfg := smallCfg(1, config.TADIP)
+	cfg.NumCores = 0
+	if _, err := New(cfg, nil, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSingleCoreRunProducesSaneResults(t *testing.T) {
+	sys, err := New(smallCfg(1, config.TADIP), []string{"stream"}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if len(r.PerCore) != 1 {
+		t.Fatalf("per-core results: %d", len(r.PerCore))
+	}
+	c := r.PerCore[0]
+	if c.IPC <= 0 || c.IPC > 1 {
+		t.Fatalf("IPC = %v, want (0,1] for a single-issue core", c.IPC)
+	}
+	if c.Cycles == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	if r.TotalInstructions < 50_000 {
+		t.Fatalf("instructions = %d, want >= warmup+measure", r.TotalInstructions)
+	}
+	if r.TagLookupsPKI <= 0 {
+		t.Fatal("no tag lookups")
+	}
+	if r.MemWritesPKI <= 0 {
+		t.Fatal("stream generated no memory writes")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Results {
+		sys, err := New(smallCfg(1, config.DBIAWB), []string{"lbm"}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+	a, b := run(), run()
+	if a.PerCore[0].IPC != b.PerCore[0].IPC {
+		t.Fatalf("IPC differs across identical runs: %v vs %v", a.PerCore[0].IPC, b.PerCore[0].IPC)
+	}
+	if a.WriteRowHitRate != b.WriteRowHitRate {
+		t.Fatal("write RHR differs across identical runs")
+	}
+	if a.TagLookupsPKI != b.TagLookupsPKI {
+		t.Fatal("tag lookups differ across identical runs")
+	}
+}
+
+func TestMultiCoreRunCompletes(t *testing.T) {
+	cfg := smallCfg(2, config.DBIAWBCLB)
+	sys, err := New(cfg, []string{"GemsFDTD", "libquantum"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if len(r.PerCore) != 2 {
+		t.Fatalf("per-core results: %d", len(r.PerCore))
+	}
+	for i, c := range r.PerCore {
+		if c.IPC <= 0 {
+			t.Fatalf("core %d IPC = %v", i, c.IPC)
+		}
+	}
+}
+
+func TestAWBRaisesWriteRowHitRate(t *testing.T) {
+	base, err := New(smallCfg(1, config.TADIP), []string{"lbm"}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := base.Run()
+	awb, err := New(smallCfg(1, config.DBIAWB), []string{"lbm"}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := awb.Run()
+	if ra.WriteRowHitRate <= rb.WriteRowHitRate {
+		t.Fatalf("AWB write RHR %.3f not above TA-DIP %.3f",
+			ra.WriteRowHitRate, rb.WriteRowHitRate)
+	}
+}
+
+func TestDAWBInflatesTagLookups(t *testing.T) {
+	base, _ := New(smallCfg(1, config.TADIP), []string{"lbm"}, 11)
+	rb := base.Run()
+	dawb, _ := New(smallCfg(1, config.DAWB), []string{"lbm"}, 11)
+	rd := dawb.Run()
+	if rd.TagLookupsPKI <= rb.TagLookupsPKI*1.2 {
+		t.Fatalf("DAWB lookups PKI %.1f not clearly above TA-DIP %.1f",
+			rd.TagLookupsPKI, rb.TagLookupsPKI)
+	}
+	// DBI's key efficiency claim (Section 3.1): it looks up the tag
+	// store only for blocks that are actually dirty, so its useful
+	// writebacks per filler lookup are far higher than DAWB's
+	// indiscriminate row scan.
+	dbia, _ := New(smallCfg(1, config.DBIAWB), []string{"lbm"}, 11)
+	ra := dbia.Run()
+	dawbUseful := float64(dawb.LLC.Stat.ProactiveWBs.Value())
+	dawbEff := dawbUseful / float64(dawb.LLC.Stat.FillerLookups.Value())
+	dbiUseful := float64(dbia.LLC.Stat.ProactiveWBs.Value() + dbia.LLC.Stat.DBIEvictionWBs.Value())
+	dbiEff := dbiUseful / float64(dbia.LLC.Stat.FillerLookups.Value())
+	if dbiEff <= dawbEff*2 {
+		t.Fatalf("DBI+AWB filler efficiency %.3f not clearly above DAWB %.3f",
+			dbiEff, dawbEff)
+	}
+	_ = ra
+}
+
+func TestCLBReducesTagLookupsForStreamingApp(t *testing.T) {
+	cfg := smallCfg(1, config.DBICLB)
+	cfg.MissPred.EpochCycles = 50_000
+	clb, err := New(cfg, []string{"libquantum"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := clb.Run()
+	base, _ := New(smallCfg(1, config.DBI), []string{"libquantum"}, 5)
+	rb := base.Run()
+	if rc.Bypasses == 0 {
+		t.Fatal("CLB produced no bypasses on a ~100% miss-rate app")
+	}
+	if rc.TagLookupsPKI >= rb.TagLookupsPKI {
+		t.Fatalf("CLB lookups PKI %.1f not below plain DBI %.1f",
+			rc.TagLookupsPKI, rb.TagLookupsPKI)
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	shared := []CoreResult{
+		{Bench: "a", IPC: 0.5},
+		{Bench: "b", IPC: 0.25},
+	}
+	alone := map[string]float64{"a": 1.0, "b": 0.5}
+	if ws := WeightedSpeedup(shared, alone); ws != 1.0 {
+		t.Fatalf("WS = %v, want 1.0", ws)
+	}
+	if hs := HarmonicSpeedup(shared, alone); hs != 0.5 {
+		t.Fatalf("HS = %v, want 0.5", hs)
+	}
+	if ms := MaxSlowdown(shared, alone); ms != 2.0 {
+		t.Fatalf("MaxSlowdown = %v, want 2.0", ms)
+	}
+	if it := InstructionThroughput(shared); it != 0.75 {
+		t.Fatalf("IT = %v", it)
+	}
+	// Missing alone data is skipped, not a crash.
+	if ws := WeightedSpeedup(shared, map[string]float64{"a": 1}); ws != 0.5 {
+		t.Fatalf("partial WS = %v", ws)
+	}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dbisim/internal/addr"
+)
+
+// File format: a magic header followed by varint-encoded records
+// (gap, kind, address). Used by cmd/tracegen to materialize synthetic
+// streams for inspection and by tests to round-trip generators.
+
+const fileMagic = "DBITRACE1\n"
+
+// Writer serializes access records to a stream.
+type Writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	n   uint64
+}
+
+// NewWriter writes the trace header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	k := binary.PutUvarint(w.buf[:], uint64(r.Gap))
+	if _, err := w.w.Write(w.buf[:k]); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte(byte(r.Kind)); err != nil {
+		return err
+	}
+	k = binary.PutUvarint(w.buf[:], uint64(r.Addr))
+	if _, err := w.w.Write(w.buf[:k]); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count reports how many records have been written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes a trace stream written by Writer. It implements
+// Generator over a finite file; Next panics once the stream is exhausted,
+// so callers should bound reads with Len or use Read.
+type Reader struct {
+	r    *bufio.Reader
+	name string
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader, name string) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr) != fileMagic {
+		return nil, errors.New("trace: bad magic; not a trace file")
+	}
+	return &Reader{r: br, name: name}, nil
+}
+
+// Name identifies the trace.
+func (r *Reader) Name() string { return r.name }
+
+// Read returns the next record, or io.EOF at end of stream.
+func (r *Reader) Read() (Record, error) {
+	gap, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: reading gap: %w", err)
+	}
+	kind, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: reading kind: %w", err)
+	}
+	if kind > byte(Store) {
+		return Record{}, fmt.Errorf("trace: invalid access kind %d", kind)
+	}
+	a, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: reading address: %w", err)
+	}
+	return Record{Gap: uint32(gap), Kind: Kind(kind), Addr: addr.Addr(a)}, nil
+}
+
+// Next implements Generator; it panics at end of stream.
+func (r *Reader) Next() Record {
+	rec, err := r.Read()
+	if err != nil {
+		panic(fmt.Sprintf("trace: Next past end of %q: %v", r.name, err))
+	}
+	return rec
+}
+
+// Looping wraps a finite record slice as an infinite Generator, replaying
+// it from the start when exhausted.
+type Looping struct {
+	name string
+	recs []Record
+	pos  int
+}
+
+// NewLooping returns a Generator replaying recs forever. It panics if
+// recs is empty.
+func NewLooping(name string, recs []Record) *Looping {
+	if len(recs) == 0 {
+		panic("trace: NewLooping with empty records")
+	}
+	return &Looping{name: name, recs: recs}
+}
+
+// Name identifies the trace.
+func (l *Looping) Name() string { return l.name }
+
+// Next returns the next record, wrapping at the end.
+func (l *Looping) Next() Record {
+	r := l.recs[l.pos]
+	l.pos++
+	if l.pos == len(l.recs) {
+		l.pos = 0
+	}
+	return r
+}
