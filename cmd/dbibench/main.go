@@ -3,69 +3,194 @@
 //
 // Usage:
 //
-//	dbibench -experiment fig6          # one experiment
-//	dbibench -experiment all -full     # everything, full sweep sizes
+//	dbibench -experiment fig6               # one experiment
+//	dbibench -experiment all -full          # everything, full sweep sizes
+//	dbibench -experiment all -parallel 8    # fan cells out over 8 workers
+//	dbibench -experiment fig6 -check        # gate on the paper's ordering
+//	dbibench -experiment all -json out.json # machine-readable cell results
 //
-// Experiments: fig6, fig7, fig8, tab3, tab4, tab5, tab6, tab7,
-// casestudy, dbipolicy, clbsens, drrip, area, all.
+// The runner table below is the single source of truth: the usage text
+// and the `all` set are both generated from it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"dbisim/internal/experiments"
+	"dbisim/internal/sweep"
 )
+
+// runner binds an experiment id to its implementation. Every runner
+// listed here is part of `-experiment all`.
+type runner struct {
+	id   string
+	desc string
+	run  func(experiments.Options) error
+}
+
+// fig6Result captures the Figure 6 sweep when it runs, for -check.
+var fig6Result *experiments.Fig6Result
+
+// runners is the experiment registry — usage text and the `all` set
+// derive from it, so adding a runner here is the whole registration.
+var runners = []runner{
+	{"fig6", "Figure 6: single-core IPC, row hit rates, tag lookups, WPKI", func(o experiments.Options) error {
+		r, err := experiments.Fig6(o)
+		fig6Result = r
+		return err
+	}},
+	{"fig7", "Figure 7: multi-core weighted speedup (2/4/8 cores)", func(o experiments.Options) error {
+		_, err := experiments.Fig7(o)
+		return err
+	}},
+	{"fig8", "Figure 8: 4-core per-workload speedup S-curve", func(o experiments.Options) error {
+		_, err := experiments.Fig8(o)
+		return err
+	}},
+	{"tab3", "Table 3: performance and fairness metrics", func(o experiments.Options) error {
+		_, err := experiments.Table3(o)
+		return err
+	}},
+	{"tab4", "Table 4: bit storage cost reduction", func(o experiments.Options) error {
+		experiments.Table4(o)
+		return nil
+	}},
+	{"tab5", "Table 5: DBI power fraction", func(o experiments.Options) error {
+		experiments.Table5(o)
+		return nil
+	}},
+	{"tab6", "Table 6: AWB sensitivity to DBI size and granularity", func(o experiments.Options) error {
+		_, err := experiments.Table6(o)
+		return err
+	}},
+	{"tab7", "Table 7: cache size sensitivity", func(o experiments.Options) error {
+		_, err := experiments.Table7(o)
+		return err
+	}},
+	{"casestudy", "Section 6.2: GemsFDTD+libquantum case study", func(o experiments.Options) error {
+		_, err := experiments.CaseStudy(o)
+		return err
+	}},
+	{"dbipolicy", "Section 4.3: DBI replacement policy comparison", func(o experiments.Options) error {
+		_, err := experiments.DBIPolicy(o)
+		return err
+	}},
+	{"clbsens", "Section 6.4: CLB miss-predictor threshold sensitivity", func(o experiments.Options) error {
+		_, err := experiments.CLBSensitivity(o)
+		return err
+	}},
+	{"drrip", "Section 6.5: DBI under DRRIP replacement", func(o experiments.Options) error {
+		_, err := experiments.DRRIP(o)
+		return err
+	}},
+	{"area", "Section 6.3: area and DRAM energy", func(o experiments.Options) error {
+		_, err := experiments.AreaPower(o)
+		return err
+	}},
+	{"flushlat", "Section 7: whole-cache flush latency", func(o experiments.Options) error {
+		_, err := experiments.Flush(o)
+		return err
+	}},
+	{"ablation", "Design-choice ablations (write buffer, drain, DBI assoc)", func(o experiments.Options) error {
+		_, err := experiments.Ablation(o)
+		return err
+	}},
+}
+
+func experimentIDs() []string {
+	ids := make([]string, len(runners))
+	for i, r := range runners {
+		ids[i] = r.id
+	}
+	return ids
+}
+
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintf(w, "usage: dbibench [flags]\n\nflags:\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(w, "\nexperiments (all runs every one of them):\n")
+	for _, r := range runners {
+		fmt.Fprintf(w, "  %-10s %s\n", r.id, r.desc)
+	}
+}
 
 func main() {
 	var (
-		name = flag.String("experiment", "all", "experiment id (fig6, fig7, fig8, tab3..tab7, casestudy, dbipolicy, clbsens, drrip, area, all)")
+		name = flag.String("experiment", "all",
+			"experiment id ("+strings.Join(experimentIDs(), ", ")+", all)")
 		full = flag.Bool("full", false, "full sweep sizes instead of quick mode")
 		seed = flag.Int64("seed", 42, "simulation seed")
+		par  = flag.Int("parallel", 0,
+			"worker goroutines per sweep (0 = one per CPU, 1 = sequential)")
+		jsonPath = flag.String("json", "",
+			"write per-cell metrics, wall clock and speedup to this JSON file")
+		check = flag.Bool("check", false,
+			"verify the paper's Figure-6a mechanism ordering (needs fig6 in the run)")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
-	o := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed}
-
-	runners := []struct {
-		id  string
-		run func() error
-	}{
-		{"fig6", func() error { _, err := experiments.Fig6(o); return err }},
-		{"fig7", func() error { _, err := experiments.Fig7(o); return err }},
-		{"fig8", func() error { _, err := experiments.Fig8(o); return err }},
-		{"tab3", func() error { _, err := experiments.Table3(o); return err }},
-		{"tab4", func() error { experiments.Table4(o); return nil }},
-		{"tab5", func() error { experiments.Table5(o); return nil }},
-		{"tab6", func() error { _, err := experiments.Table6(o); return err }},
-		{"tab7", func() error { _, err := experiments.Table7(o); return err }},
-		{"casestudy", func() error { _, err := experiments.CaseStudy(o); return err }},
-		{"dbipolicy", func() error { _, err := experiments.DBIPolicy(o); return err }},
-		{"clbsens", func() error { _, err := experiments.CLBSensitivity(o); return err }},
-		{"drrip", func() error { _, err := experiments.DRRIP(o); return err }},
-		{"area", func() error { _, err := experiments.AreaPower(o); return err }},
-		{"flushlat", func() error { _, err := experiments.Flush(o); return err }},
-		{"ablation", func() error { _, err := experiments.Ablation(o); return err }},
+	rec := &sweep.Recorder{}
+	o := experiments.Options{
+		Out: os.Stdout, Quick: !*full, Seed: *seed,
+		Parallel: *par, Recorder: rec,
 	}
 
-	ran := false
+	var selected []runner
 	for _, r := range runners {
-		if *name != "all" && *name != r.id {
-			continue
+		if *name == "all" || *name == r.id {
+			selected = append(selected, r)
 		}
-		ran = true
-		start := time.Now()
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "dbibench: unknown experiment %q (valid: %s, all)\n",
+			*name, strings.Join(experimentIDs(), ", "))
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var ran []string
+	for _, r := range selected {
+		expStart := time.Now()
 		fmt.Printf("\n===== %s =====\n", r.id)
-		if err := r.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+		if err := r.run(o); err != nil {
+			fmt.Fprintf(os.Stderr, "dbibench: %s: %v\n", r.id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %v]\n", r.id, time.Since(start).Round(time.Millisecond))
+		ran = append(ran, r.id)
+		fmt.Printf("[%s done in %v]\n", r.id, time.Since(expStart).Round(time.Millisecond))
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *name)
-		os.Exit(2)
+	wall := time.Since(start)
+
+	if *jsonPath != "" {
+		workers := *par
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		rep := rec.Report(*seed, workers, !*full, ran, wall)
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "dbibench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%d cells, busy %.1fs, wall %.1fs, speedup %.2fx -> %s]\n",
+			rep.CellCount, rep.BusySeconds, rep.WallSeconds, rep.Speedup, *jsonPath)
+	}
+
+	if *check {
+		if fig6Result == nil {
+			fmt.Fprintln(os.Stderr, "dbibench: -check requires fig6 in the run (use -experiment fig6 or all)")
+			os.Exit(2)
+		}
+		if err := fig6Result.CheckPaperOrdering(); err != nil {
+			fmt.Fprintf(os.Stderr, "dbibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("[check ok: DBI+AWB+CLB > DBI+AWB > DAWB > VWQ > TA-DIP on gmean IPC]")
 	}
 }

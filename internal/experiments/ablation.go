@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"dbisim/internal/config"
 	"dbisim/internal/stats"
 )
@@ -39,55 +41,59 @@ func Ablation(o Options) (*AblationResult, error) {
 		DBIAssocIPC:        map[int]float64{},
 	}
 
-	sweep := func(mut func(*config.SystemConfig)) (ipc, wrhr, drains float64, err error) {
-		var ipcs, rhrs, drs []float64
-		for _, b := range benches {
-			cfg := config.Scaled(1, config.DBIAWB)
-			cfg.WarmupInstructions, cfg.MeasureInstructions = warm, meas
-			mut(&cfg)
-			r, err := runCfg(cfg, []string{b}, o.seed())
-			if err != nil {
-				return 0, 0, 0, err
+	// Each parameter family is one sweep: every (value, benchmark) pair
+	// is an independent cell, so a whole family fans out at once.
+	family := func(params []int, param string, mut func(*config.SystemConfig, int)) (ipc, wrhr, drains map[int]float64, err error) {
+		var cells []simCell
+		for _, p := range params {
+			for _, b := range benches {
+				c := o.singleCell("ablation", config.DBIAWB, b)
+				c.cfg.WarmupInstructions, c.cfg.MeasureInstructions = warm, meas
+				mut(&c.cfg, p)
+				c.key.Param = fmt.Sprintf("%s=%d", param, p)
+				cells = append(cells, c)
 			}
-			ipcs = append(ipcs, r.PerCore[0].IPC)
-			rhrs = append(rhrs, r.WriteRowHitRate)
-			drs = append(drs, float64(r.DrainsStarted))
 		}
-		return stats.GeoMean(ipcs), stats.Mean(rhrs), stats.Mean(drs), nil
+		rs, err := o.runCells(cells)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ipc, wrhr, drains = map[int]float64{}, map[int]float64{}, map[int]float64{}
+		i := 0
+		for _, p := range params {
+			var ipcs, rhrs, drs []float64
+			for range benches {
+				ipcs = append(ipcs, rs[i].PerCore[0].IPC)
+				rhrs = append(rhrs, rs[i].WriteRowHitRate)
+				drs = append(drs, float64(rs[i].DrainsStarted))
+				i++
+			}
+			ipc[p], wrhr[p], drains[p] = stats.GeoMean(ipcs), stats.Mean(rhrs), stats.Mean(drs)
+		}
+		return ipc, wrhr, drains, nil
 	}
 
-	for _, n := range res.WriteBufferEntries {
-		n := n
-		ipc, rhr, _, err := sweep(func(c *config.SystemConfig) {
+	var err error
+	if res.WBufIPC, res.WBufWriteRHR, _, err = family(res.WriteBufferEntries, "wbuf",
+		func(c *config.SystemConfig, n int) {
 			c.DRAM.WriteBufferEntries = n
 			if c.DRAM.WriteDrainLow >= n {
 				c.DRAM.WriteDrainLow = n / 4
 			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.WBufIPC[n], res.WBufWriteRHR[n] = ipc, rhr
+		}); err != nil {
+		return nil, err
 	}
-	for _, low := range res.DrainLow {
-		low := low
-		ipc, _, drains, err := sweep(func(c *config.SystemConfig) {
+	if res.DrainIPC, _, res.DrainStarted, err = family(res.DrainLow, "drainlow",
+		func(c *config.SystemConfig, low int) {
 			c.DRAM.WriteDrainLow = low
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.DrainIPC[low], res.DrainStarted[low] = ipc, drains
+		}); err != nil {
+		return nil, err
 	}
-	for _, assoc := range res.DBIAssoc {
-		assoc := assoc
-		ipc, _, _, err := sweep(func(c *config.SystemConfig) {
+	if res.DBIAssocIPC, _, _, err = family(res.DBIAssoc, "assoc",
+		func(c *config.SystemConfig, assoc int) {
 			c.DBI.Associativity = assoc
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.DBIAssocIPC[assoc] = ipc
+		}); err != nil {
+		return nil, err
 	}
 
 	w := o.out()

@@ -13,11 +13,12 @@ import (
 	"io"
 
 	"dbisim/internal/config"
+	"dbisim/internal/sweep"
 	"dbisim/internal/system"
 	"dbisim/internal/trace"
 )
 
-// Options controls sweep sizes and output.
+// Options controls sweep sizes, parallelism and output.
 type Options struct {
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
@@ -26,6 +27,14 @@ type Options struct {
 	Quick bool
 	// Seed fixes all randomness.
 	Seed int64
+	// Parallel caps the worker goroutines each sweep fans out over:
+	// 0 means one per CPU, 1 reproduces the old sequential path. Cell
+	// seeds are derived from the cell identity (sweep.CellSeed), so
+	// every worker count yields the identical result set.
+	Parallel int
+	// Recorder, when non-nil, receives one machine-readable record per
+	// simulation cell for the -json report.
+	Recorder *sweep.Recorder
 }
 
 func (o Options) out() io.Writer {
@@ -62,28 +71,6 @@ func (o Options) seed() int64 {
 	return o.Seed
 }
 
-// runSingle runs one benchmark on a 1-core system with the mechanism.
-func (o Options) runSingle(mech config.Mechanism, bench string) (system.Results, error) {
-	cfg := config.Scaled(1, mech)
-	cfg.WarmupInstructions, cfg.MeasureInstructions = o.singleBudgets()
-	sys, err := system.New(cfg, []string{bench}, o.seed())
-	if err != nil {
-		return system.Results{}, err
-	}
-	return sys.Run(), nil
-}
-
-// runMulti runs a multiprogrammed mix with the mechanism.
-func (o Options) runMulti(mech config.Mechanism, benches []string) (system.Results, error) {
-	cfg := config.Scaled(len(benches), mech)
-	cfg.WarmupInstructions, cfg.MeasureInstructions = o.multiBudgets()
-	sys, err := system.New(cfg, benches, o.seed())
-	if err != nil {
-		return system.Results{}, err
-	}
-	return sys.Run(), nil
-}
-
 // runCfg runs an explicit configuration on the given benchmarks.
 func runCfg(cfg config.SystemConfig, benches []string, seed int64) (system.Results, error) {
 	sys, err := system.New(cfg, benches, seed)
@@ -99,18 +86,26 @@ func weightedSpeedup(r system.Results, alone map[string]float64) float64 {
 }
 
 // aloneIPC measures each benchmark's single-core IPC on the baseline
-// machine — the denominator of every speedup metric (Section 5).
-func (o Options) aloneIPC(benches []string) (map[string]float64, error) {
-	out := map[string]float64{}
+// machine — the denominator of every speedup metric (Section 5). The
+// runs are independent, so they go through the worker pool like any
+// other sweep cells.
+func (o Options) aloneIPC(exp string, benches []string) (map[string]float64, error) {
+	var cells []simCell
+	seen := map[string]bool{}
 	for _, b := range benches {
-		if _, ok := out[b]; ok {
+		if seen[b] {
 			continue
 		}
-		r, err := o.runSingle(config.Baseline, b)
-		if err != nil {
-			return nil, err
-		}
-		out[b] = r.PerCore[0].IPC
+		seen[b] = true
+		cells = append(cells, o.singleCell(exp+"/alone", config.Baseline, b))
+	}
+	rs, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for i, c := range cells {
+		out[c.key.Benchmark] = rs[i].PerCore[0].IPC
 	}
 	return out, nil
 }

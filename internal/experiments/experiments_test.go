@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dbisim/internal/config"
+	"dbisim/internal/sweep"
 )
 
 // tiny returns options with the smallest budgets that still exercise the
@@ -173,6 +174,86 @@ func TestFlushExperiment(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "flush") {
 		t.Fatal("not rendered")
+	}
+}
+
+// TestParallelMatchesSequential is the harness's core invariant: a
+// sweep fanned out over many workers must produce bit-identical
+// results to the sequential path, because per-cell seeds depend only
+// on cell identity, never on scheduling.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	seq := tiny()
+	seq.Parallel = 1
+	par := tiny()
+	par.Parallel = 4
+	a, err := CLBSensitivity(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CLBSensitivity(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.IPC) != len(b.IPC) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.IPC), len(b.IPC))
+	}
+	for th, ipc := range a.IPC {
+		if b.IPC[th] != ipc {
+			t.Fatalf("threshold %.2f: sequential IPC %v != parallel IPC %v", th, ipc, b.IPC[th])
+		}
+	}
+	if a.Spread != b.Spread {
+		t.Fatalf("spread differs: %v vs %v", a.Spread, b.Spread)
+	}
+}
+
+// TestRecorderCapturesCells checks that every simulation cell of a
+// sweep lands in the JSON recorder with its metrics and timing.
+func TestRecorderCapturesCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	o := tiny()
+	o.Parallel = 2
+	o.Recorder = &sweep.Recorder{}
+	if _, err := CLBSensitivity(o); err != nil {
+		t.Fatal(err)
+	}
+	recs := o.Recorder.Records()
+	if len(recs) != 9 { // 3 thresholds x 3 benchmarks
+		t.Fatalf("recorded %d cells, want 9", len(recs))
+	}
+	for _, r := range recs {
+		if r.Experiment != "clbsens" || r.Benchmark == "" || r.Param == "" {
+			t.Fatalf("incomplete record %+v", r)
+		}
+		if r.Metrics["ipc_core0"] <= 0 {
+			t.Fatalf("record %s missing ipc metric", r.Key)
+		}
+		if r.Seed != o.seed() {
+			t.Fatalf("record %s seed %d, want base seed %d (run-0 cell)", r.Key, r.Seed, o.seed())
+		}
+	}
+}
+
+func TestFig6OrderingCheck(t *testing.T) {
+	res := &Fig6Result{GMeanIPC: map[config.Mechanism]float64{
+		config.DBIAWBCLB: 0.95, config.DBIAWB: 0.94, config.DAWB: 0.93,
+		config.VWQ: 0.92, config.TADIP: 0.91,
+	}}
+	if err := res.CheckPaperOrdering(); err != nil {
+		t.Fatalf("valid ordering rejected: %v", err)
+	}
+	res.GMeanIPC[config.VWQ] = 0.94
+	if err := res.CheckPaperOrdering(); err == nil {
+		t.Fatal("violated ordering accepted")
+	}
+	delete(res.GMeanIPC, config.TADIP)
+	if err := res.CheckPaperOrdering(); err == nil {
+		t.Fatal("incomplete sweep accepted")
 	}
 }
 

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"dbisim/internal/areamodel"
 	"dbisim/internal/config"
 	"dbisim/internal/stats"
@@ -27,17 +29,26 @@ func DBIPolicy(o Options) (*DBIPolicyResult, error) {
 		Policies: policies,
 		GMeanIPC: map[config.DBIReplacement]float64{},
 	}
+	var cells []simCell
+	for _, pol := range policies {
+		for _, b := range benches {
+			c := o.singleCell("dbipolicy", config.DBIAWB, b)
+			c.cfg.WarmupInstructions, c.cfg.MeasureInstructions = warm, meas
+			c.cfg.DBI.Replacement = pol
+			c.key.Param = fmt.Sprintf("policy=%v", pol)
+			cells = append(cells, c)
+		}
+	}
+	rs, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, pol := range policies {
 		var ipcs []float64
-		for _, b := range benches {
-			cfg := config.Scaled(1, config.DBIAWB)
-			cfg.WarmupInstructions, cfg.MeasureInstructions = warm, meas
-			cfg.DBI.Replacement = pol
-			r, err := runCfg(cfg, []string{b}, o.seed())
-			if err != nil {
-				return nil, err
-			}
-			ipcs = append(ipcs, r.PerCore[0].IPC)
+		for range benches {
+			ipcs = append(ipcs, rs[i].PerCore[0].IPC)
+			i++
 		}
 		res.GMeanIPC[pol] = stats.GeoMean(ipcs)
 	}
@@ -65,18 +76,27 @@ func CLBSensitivity(o Options) (*CLBSensitivityResult, error) {
 	}
 	benches := []string{"libquantum", "stream", "mcf"}
 	warm, meas := o.singleBudgets()
+	var cells []simCell
+	for _, th := range res.Thresholds {
+		for _, b := range benches {
+			c := o.singleCell("clbsens", config.DBIAWBCLB, b)
+			c.cfg.WarmupInstructions, c.cfg.MeasureInstructions = warm, meas
+			c.cfg.MissPred.Threshold = th
+			c.key.Param = fmt.Sprintf("threshold=%.2f", th)
+			cells = append(cells, c)
+		}
+	}
+	rs, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	var all []float64
+	i := 0
 	for _, th := range res.Thresholds {
 		var ipcs []float64
-		for _, b := range benches {
-			cfg := config.Scaled(1, config.DBIAWBCLB)
-			cfg.WarmupInstructions, cfg.MeasureInstructions = warm, meas
-			cfg.MissPred.Threshold = th
-			r, err := runCfg(cfg, []string{b}, o.seed())
-			if err != nil {
-				return nil, err
-			}
-			ipcs = append(ipcs, r.PerCore[0].IPC)
+		for range benches {
+			ipcs = append(ipcs, rs[i].PerCore[0].IPC)
+			i++
 		}
 		res.IPC[th] = stats.GeoMean(ipcs)
 		all = append(all, res.IPC[th])
@@ -110,36 +130,34 @@ func DRRIP(o Options) (*DRRIPResult, error) {
 	if o.Quick {
 		mixes = mixes[:2]
 	}
-	var benchLists [][]string
-	for _, m := range mixes {
-		benchLists = append(benchLists, m.Benches)
-	}
-	alone, err := o.aloneIPC(uniqueBenches(benchLists))
+	alone, err := o.aloneIPC("drrip", uniqueBenches(mixBenches(mixes)))
 	if err != nil {
 		return nil, err
 	}
 	warm, meas := o.multiBudgets()
-	run := func(mech config.Mechanism) (float64, error) {
-		var ws []float64
+	mechs := []config.Mechanism{config.DAWB, config.DBIAWBCLB}
+	var cells []simCell
+	for _, mech := range mechs {
 		for _, mix := range mixes {
-			cfg := config.Scaled(cores, mech)
-			cfg.L3.Replacement = config.ReplDRRIP
-			cfg.WarmupInstructions, cfg.MeasureInstructions = warm, meas
-			r, err := runCfg(cfg, mix.Benches, o.seed())
-			if err != nil {
-				return 0, err
-			}
-			ws = append(ws, weightedSpeedup(r, alone))
+			c := o.multiCell("drrip", mech, mix.Name, mix.Benches)
+			c.cfg.L3.Replacement = config.ReplDRRIP
+			c.cfg.WarmupInstructions, c.cfg.MeasureInstructions = warm, meas
+			c.key.Param = "repl=DRRIP"
+			cells = append(cells, c)
 		}
-		return stats.Mean(ws), nil
 	}
-	res := &DRRIPResult{}
-	if res.WSDAWB, err = run(config.DAWB); err != nil {
+	rs, err := o.runCells(cells)
+	if err != nil {
 		return nil, err
 	}
-	if res.WSDBI, err = run(config.DBIAWBCLB); err != nil {
-		return nil, err
+	mean := func(off int) float64 {
+		var ws []float64
+		for i := range mixes {
+			ws = append(ws, weightedSpeedup(rs[off+i], alone))
+		}
+		return stats.Mean(ws)
 	}
+	res := &DRRIPResult{WSDAWB: mean(0), WSDBI: mean(len(mixes))}
 	w := o.out()
 	fprintf(w, "\nSection 6.5: 8-core with DRRIP replacement\n")
 	fprintf(w, "DAWB        WS=%.3f\nDBI+AWB+CLB WS=%.3f (%+.0f%%)\n",
@@ -168,16 +186,18 @@ func AreaPower(o Options) (*AreaPowerResult, error) {
 
 	energy := areamodel.DefaultDRAMEnergy()
 	benches := table6Benches(o.Quick)
-	var ratios []float64
+	var cells []simCell
 	for _, b := range benches {
-		base, err := o.runSingle(config.Baseline, b)
-		if err != nil {
-			return nil, err
-		}
-		dbi, err := o.runSingle(config.DBIAWBCLB, b)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, o.singleCell("area", config.Baseline, b))
+		cells = append(cells, o.singleCell("area", config.DBIAWBCLB, b))
+	}
+	rs, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var ratios []float64
+	for i := range benches {
+		base, dbi := rs[2*i], rs[2*i+1]
 		eb := energy.EnergyFromCounts(base.MemActivates, base.MemReads, base.MemWrites)
 		ed := energy.EnergyFromCounts(dbi.MemActivates, dbi.MemReads, dbi.MemWrites)
 		if eb > 0 {

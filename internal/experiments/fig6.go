@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"dbisim/internal/config"
 	"dbisim/internal/stats"
 	"dbisim/internal/system"
@@ -37,6 +39,17 @@ func Fig6(o Options) (*Fig6Result, error) {
 		MeanWRHR:   map[config.Mechanism]float64{},
 		MeanTagPKI: map[config.Mechanism]float64{},
 	}
+	var cells []simCell
+	for _, mech := range res.Mechanisms {
+		for _, b := range res.Benchmarks {
+			cells = append(cells, o.singleCell("fig6", mech, b))
+		}
+	}
+	rs, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, mech := range res.Mechanisms {
 		res.IPC[mech] = map[string]float64{}
 		res.WriteRHR[mech] = map[string]float64{}
@@ -45,10 +58,8 @@ func Fig6(o Options) (*Fig6Result, error) {
 		res.ReadRHR[mech] = map[string]float64{}
 		var ipcs, wrhrs, tags []float64
 		for _, b := range res.Benchmarks {
-			r, err := o.runSingle(mech, b)
-			if err != nil {
-				return nil, err
-			}
+			r := rs[i]
+			i++
 			res.IPC[mech][b] = r.PerCore[0].IPC
 			res.WriteRHR[mech][b] = r.WriteRowHitRate
 			res.TagPKI[mech][b] = r.TagLookupsPKI
@@ -64,6 +75,29 @@ func Fig6(o Options) (*Fig6Result, error) {
 	}
 	res.render(o)
 	return res, nil
+}
+
+// CheckPaperOrdering verifies the Figure-6a mechanism ordering the
+// paper reports and EXPERIMENTS.md records as preserved:
+// DBI+AWB+CLB > DBI+AWB > DAWB > VWQ > TA-DIP on gmean IPC. The CI
+// smoke job gates on it via `dbibench -experiment fig6 -check`.
+func (res *Fig6Result) CheckPaperOrdering() error {
+	order := []config.Mechanism{
+		config.DBIAWBCLB, config.DBIAWB, config.DAWB, config.VWQ, config.TADIP,
+	}
+	for i := 0; i+1 < len(order); i++ {
+		hi, lo := order[i], order[i+1]
+		a, ok := res.GMeanIPC[hi]
+		b, ok2 := res.GMeanIPC[lo]
+		if !ok || !ok2 {
+			return fmt.Errorf("fig6: ordering check needs %v and %v in the sweep", hi, lo)
+		}
+		if a <= b {
+			return fmt.Errorf("fig6: paper ordering violated: gmean IPC %v (%.4f) <= %v (%.4f)",
+				hi, a, lo, b)
+		}
+	}
+	return nil
 }
 
 func (res *Fig6Result) render(o Options) {
@@ -119,7 +153,7 @@ type CaseStudyResult struct {
 // while CLB removes libquantum's useless lookups.
 func CaseStudy(o Options) (*CaseStudyResult, error) {
 	mix := []string{"GemsFDTD", "libquantum"}
-	alone, err := o.aloneIPC(mix)
+	alone, err := o.aloneIPC("casestudy", mix)
 	if err != nil {
 		return nil, err
 	}
@@ -131,15 +165,19 @@ func CaseStudy(o Options) (*CaseStudyResult, error) {
 		WS:         map[config.Mechanism]float64{},
 		TagPKI:     map[config.Mechanism]float64{},
 	}
+	var cells []simCell
+	for _, mech := range mechs {
+		cells = append(cells, o.multiCell("casestudy", mech, "GemsFDTD+libquantum", mix))
+	}
+	rs, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	w := o.out()
 	fprintf(w, "\nSection 6.2 case study: 2-core GemsFDTD + libquantum\n")
-	for _, mech := range mechs {
-		r, err := o.runMulti(mech, mix)
-		if err != nil {
-			return nil, err
-		}
-		res.WS[mech] = system.WeightedSpeedup(r.PerCore, alone)
-		res.TagPKI[mech] = r.TagLookupsPKI
+	for i, mech := range mechs {
+		res.WS[mech] = system.WeightedSpeedup(rs[i].PerCore, alone)
+		res.TagPKI[mech] = rs[i].TagLookupsPKI
 		fprintf(w, "%-12s WS=%.3f tagPKI=%.1f\n", mech, res.WS[mech], res.TagPKI[mech])
 	}
 	base := res.WS[config.Baseline]

@@ -49,23 +49,27 @@ func Fig7(o Options) (*Fig7Result, error) {
 	w := o.out()
 	for _, cores := range res.Cores {
 		mixes := o.mixesFor(cores)
-		var benchLists [][]string
-		for _, m := range mixes {
-			benchLists = append(benchLists, m.Benches)
+		alone, err := o.aloneIPC("fig7", uniqueBenches(mixBenches(mixes)))
+		if err != nil {
+			return nil, err
 		}
-		alone, err := o.aloneIPC(uniqueBenches(benchLists))
+		var cells []simCell
+		for _, mech := range res.Mechanisms {
+			for _, mix := range mixes {
+				cells = append(cells, o.multiCell("fig7", mech, mix.Name, mix.Benches))
+			}
+		}
+		rs, err := o.runCells(cells)
 		if err != nil {
 			return nil, err
 		}
 		res.AvgWS[cores] = map[config.Mechanism]float64{}
+		i := 0
 		for _, mech := range res.Mechanisms {
 			var wss []float64
-			for _, mix := range mixes {
-				r, err := o.runMulti(mech, mix.Benches)
-				if err != nil {
-					return nil, err
-				}
-				wss = append(wss, system.WeightedSpeedup(r.PerCore, alone))
+			for range mixes {
+				wss = append(wss, system.WeightedSpeedup(rs[i].PerCore, alone))
+				i++
 			}
 			res.AvgWS[cores][mech] = stats.Mean(wss)
 		}
@@ -108,23 +112,27 @@ func Fig8(o Options) (*Fig8Result, error) {
 	if !o.Quick {
 		mixes = workloads.Generate(4, 24, o.seed())
 	}
-	var benchLists [][]string
-	for _, m := range mixes {
-		benchLists = append(benchLists, m.Benches)
-	}
-	alone, err := o.aloneIPC(uniqueBenches(benchLists))
+	alone, err := o.aloneIPC("fig8", uniqueBenches(mixBenches(mixes)))
 	if err != nil {
 		return nil, err
 	}
 	mechs := []config.Mechanism{config.Baseline, config.DAWB, config.DBIAWBCLB}
-	ws := map[config.Mechanism][]float64{}
+	var cells []simCell
 	for _, mech := range mechs {
 		for _, mix := range mixes {
-			r, err := o.runMulti(mech, mix.Benches)
-			if err != nil {
-				return nil, err
-			}
-			ws[mech] = append(ws[mech], system.WeightedSpeedup(r.PerCore, alone))
+			cells = append(cells, o.multiCell("fig8", mech, mix.Name, mix.Benches))
+		}
+	}
+	rs, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	ws := map[config.Mechanism][]float64{}
+	i := 0
+	for _, mech := range mechs {
+		for range mixes {
+			ws[mech] = append(ws[mech], system.WeightedSpeedup(rs[i].PerCore, alone))
+			i++
 		}
 	}
 	res := &Fig8Result{Normalized: map[config.Mechanism][]float64{}, Mixes: len(mixes)}
@@ -175,24 +183,22 @@ func Table3(o Options) (*Table3Result, error) {
 	}
 	for _, cores := range res.Cores {
 		mixes := o.mixesFor(cores)
-		var benchLists [][]string
-		for _, m := range mixes {
-			benchLists = append(benchLists, m.Benches)
+		alone, err := o.aloneIPC("tab3", uniqueBenches(mixBenches(mixes)))
+		if err != nil {
+			return nil, err
 		}
-		alone, err := o.aloneIPC(uniqueBenches(benchLists))
+		var cells []simCell
+		for _, mix := range mixes {
+			cells = append(cells, o.multiCell("tab3", config.Baseline, mix.Name, mix.Benches))
+			cells = append(cells, o.multiCell("tab3", config.DBIAWBCLB, mix.Name, mix.Benches))
+		}
+		rs, err := o.runCells(cells)
 		if err != nil {
 			return nil, err
 		}
 		var wsB, wsD, itB, itD, hsB, hsD, msB, msD []float64
-		for _, mix := range mixes {
-			rb, err := o.runMulti(config.Baseline, mix.Benches)
-			if err != nil {
-				return nil, err
-			}
-			rd, err := o.runMulti(config.DBIAWBCLB, mix.Benches)
-			if err != nil {
-				return nil, err
-			}
+		for i := range mixes {
+			rb, rd := rs[2*i], rs[2*i+1]
 			wsB = append(wsB, system.WeightedSpeedup(rb.PerCore, alone))
 			wsD = append(wsD, system.WeightedSpeedup(rd.PerCore, alone))
 			itB = append(itB, system.InstructionThroughput(rb.PerCore))

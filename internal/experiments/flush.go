@@ -5,6 +5,7 @@ import (
 	"dbisim/internal/config"
 	"dbisim/internal/event"
 	"dbisim/internal/llc"
+	"dbisim/internal/sweep"
 )
 
 // FlushResult compares whole-cache flush latency between the
@@ -48,23 +49,35 @@ func Flush(o Options) (*FlushResult, error) {
 
 	res := &FlushResult{DirtyBlocks: dirty}
 
-	engC, conv, err := build(config.TADIP)
+	// The two organizations flush fully independent systems, so they
+	// run as two cells of a (tiny) sweep.
+	type walk struct {
+		cycles  event.Cycle
+		lookups uint64
+	}
+	cell := func(mech config.Mechanism) sweep.Cell[walk] {
+		return sweep.Cell[walk]{
+			Key: sweep.Key{Experiment: "flushlat", Mechanism: mech.String()},
+			Run: func() (walk, error) {
+				eng, l, err := build(mech)
+				if err != nil {
+					return walk{}, err
+				}
+				var w walk
+				before := l.TagLookups()
+				l.FlushTimed(func(_ int, c event.Cycle) { w.cycles = c })
+				eng.Run()
+				w.lookups = l.TagLookups() - before
+				return w, nil
+			},
+		}
+	}
+	outs, err := sweep.Run([]sweep.Cell[walk]{cell(config.TADIP), cell(config.DBI)}, o.workers())
 	if err != nil {
 		return nil, err
 	}
-	before := conv.TagLookups()
-	conv.FlushTimed(func(_ int, c event.Cycle) { res.TagWalkCycles = c })
-	engC.Run()
-	res.TagWalkLookups = conv.TagLookups() - before
-
-	engD, dbil, err := build(config.DBI)
-	if err != nil {
-		return nil, err
-	}
-	before = dbil.TagLookups()
-	dbil.FlushTimed(func(_ int, c event.Cycle) { res.DBIWalkCycles = c })
-	engD.Run()
-	res.DBIWalkLookups = dbil.TagLookups() - before
+	res.TagWalkCycles, res.TagWalkLookups = outs[0].Value.cycles, outs[0].Value.lookups
+	res.DBIWalkCycles, res.DBIWalkLookups = outs[1].Value.cycles, outs[1].Value.lookups
 
 	if res.DBIWalkCycles > 0 {
 		res.Speedup = float64(res.TagWalkCycles) / float64(res.DBIWalkCycles)

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"dbisim/internal/config"
+	"dbisim/internal/sweep"
+	"dbisim/internal/system"
+	"dbisim/internal/workloads"
+)
+
+// simCell is one simulation the worker pool can run: a complete system
+// configuration plus the benchmark on each of its cores.
+type simCell struct {
+	key     sweep.Key
+	cfg     config.SystemConfig
+	benches []string
+}
+
+// workers resolves the Parallel option: 0 means one worker per
+// available CPU, 1 reproduces the old sequential path.
+func (o Options) workers() int {
+	if o.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
+// singleCell builds a 1-core cell with the experiment's single-core
+// instruction budgets.
+func (o Options) singleCell(exp string, mech config.Mechanism, bench string) simCell {
+	cfg := config.Scaled(1, mech)
+	cfg.WarmupInstructions, cfg.MeasureInstructions = o.singleBudgets()
+	return simCell{
+		key:     sweep.Key{Experiment: exp, Benchmark: bench, Mechanism: mech.String()},
+		cfg:     cfg,
+		benches: []string{bench},
+	}
+}
+
+// multiCell builds a multi-core cell for a workload mix with the
+// multi-core budgets.
+func (o Options) multiCell(exp string, mech config.Mechanism, mixName string, benches []string) simCell {
+	cfg := config.Scaled(len(benches), mech)
+	cfg.WarmupInstructions, cfg.MeasureInstructions = o.multiBudgets()
+	return simCell{
+		key: sweep.Key{
+			Experiment: exp, Benchmark: mixName,
+			Mechanism: mech.String(), Cores: len(benches),
+		},
+		cfg:     cfg,
+		benches: benches,
+	}
+}
+
+// runCells executes the cells across the worker pool and returns their
+// results in cell order. Per-cell seeds come from sweep.CellSeed, so
+// the result set is identical for every worker count; each outcome is
+// also pushed to the Recorder for the -json report.
+func (o Options) runCells(cells []simCell) ([]system.Results, error) {
+	sc := make([]sweep.Cell[system.Results], len(cells))
+	seeds := make([]int64, len(cells))
+	for i := range cells {
+		c := cells[i]
+		seed := sweep.CellSeed(o.seed(), c.key.Benchmark, c.key.Mechanism, c.key.Run)
+		seeds[i] = seed
+		sc[i] = sweep.Cell[system.Results]{
+			Key: c.key,
+			Run: func() (system.Results, error) { return runCfg(c.cfg, c.benches, seed) },
+		}
+	}
+	outs, err := sweep.Run(sc, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	res := make([]system.Results, len(outs))
+	for i, out := range outs {
+		res[i] = out.Value
+		o.Recorder.Add(sweep.Record{
+			Key:        out.Key.String(),
+			Experiment: out.Key.Experiment,
+			Benchmark:  out.Key.Benchmark,
+			Mechanism:  out.Key.Mechanism,
+			Cores:      out.Key.Cores,
+			Param:      out.Key.Param,
+			Run:        out.Key.Run,
+			Seed:       seeds[i],
+			Metrics:    cellMetrics(out.Value),
+			ElapsedMS:  float64(out.Elapsed.Microseconds()) / 1000,
+		})
+	}
+	return res, nil
+}
+
+// cellMetrics flattens the figure-6 series and DRAM counters of one
+// run into the name→value map the JSON report carries.
+func cellMetrics(r system.Results) map[string]float64 {
+	m := map[string]float64{
+		"write_row_hit_rate": r.WriteRowHitRate,
+		"read_row_hit_rate":  r.ReadRowHitRate,
+		"tag_lookups_pki":    r.TagLookupsPKI,
+		"mem_writes_pki":     r.MemWritesPKI,
+		"mem_reads_pki":      r.MemReadsPKI,
+		"llc_mpki":           r.LLCMPKI,
+		"avg_read_latency":   r.AvgReadLatency,
+	}
+	for i, c := range r.PerCore {
+		m[fmt.Sprintf("ipc_core%d", i)] = c.IPC
+	}
+	return m
+}
+
+// mixBenches flattens mixes into per-mix benchmark lists for alone-IPC
+// deduplication.
+func mixBenches(mixes []workloads.Mix) [][]string {
+	lists := make([][]string, len(mixes))
+	for i, m := range mixes {
+		lists[i] = m.Benches
+	}
+	return lists
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"dbisim/internal/areamodel"
 	"dbisim/internal/config"
 	"dbisim/internal/stats"
@@ -62,28 +64,35 @@ func Table6(o Options) (*Table6Result, error) {
 	benches := table6Benches(o.Quick)
 	warm, meas := o.singleBudgets()
 
-	baseIPC := map[string]float64{}
-	for _, b := range benches {
-		r, err := o.runSingle(config.Baseline, b)
-		if err != nil {
-			return nil, err
-		}
-		baseIPC[b] = r.PerCore[0].IPC
+	baseIPC, err := o.aloneIPC("tab6", benches)
+	if err != nil {
+		return nil, err
 	}
+	var cells []simCell
 	for _, alpha := range res.Alphas {
-		var row []float64
 		for _, gran := range res.Granularities {
+			for _, b := range benches {
+				c := o.singleCell("tab6", config.DBIAWB, b)
+				c.cfg.WarmupInstructions, c.cfg.MeasureInstructions = warm, meas
+				c.cfg.DBI.AlphaNum, c.cfg.DBI.AlphaDen = alpha[0], alpha[1]
+				c.cfg.DBI.Granularity = gran
+				c.key.Param = fmt.Sprintf("alpha=%d/%d,gran=%d", alpha[0], alpha[1], gran)
+				cells = append(cells, c)
+			}
+		}
+	}
+	rs, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for range res.Alphas {
+		var row []float64
+		for range res.Granularities {
 			var speedups []float64
 			for _, b := range benches {
-				cfg := config.Scaled(1, config.DBIAWB)
-				cfg.WarmupInstructions, cfg.MeasureInstructions = warm, meas
-				cfg.DBI.AlphaNum, cfg.DBI.AlphaDen = alpha[0], alpha[1]
-				cfg.DBI.Granularity = gran
-				r, err := runCfg(cfg, []string{b}, o.seed())
-				if err != nil {
-					return nil, err
-				}
-				speedups = append(speedups, r.PerCore[0].IPC/baseIPC[b])
+				speedups = append(speedups, rs[i].PerCore[0].IPC/baseIPC[b])
+				i++
 			}
 			row = append(row, stats.GeoMean(speedups)-1)
 		}
@@ -131,31 +140,28 @@ func Table7(o Options) (*Table7Result, error) {
 			if o.Quick {
 				mixes = mixes[:2]
 			}
-			var benchLists [][]string
-			for _, m := range mixes {
-				benchLists = append(benchLists, m.Benches)
+			alone, err := o.aloneIPC("tab7", uniqueBenches(mixBenches(mixes)))
+			if err != nil {
+				return nil, err
 			}
-			alone, err := o.aloneIPC(uniqueBenches(benchLists))
+			var cells []simCell
+			for _, mix := range mixes {
+				for _, mech := range []config.Mechanism{config.Baseline, config.DBIAWBCLB} {
+					c := o.multiCell("tab7", mech, mix.Name, mix.Benches)
+					c.cfg.L3.SizeBytes = size * uint64(cores)
+					c.cfg.WarmupInstructions, c.cfg.MeasureInstructions = warm, meas
+					c.key.Param = fmt.Sprintf("llc=%dKB/core", size>>10)
+					cells = append(cells, c)
+				}
+			}
+			rs, err := o.runCells(cells)
 			if err != nil {
 				return nil, err
 			}
 			var base, dbi []float64
-			for _, mix := range mixes {
-				for _, mech := range []config.Mechanism{config.Baseline, config.DBIAWBCLB} {
-					cfg := config.Scaled(cores, mech)
-					cfg.L3.SizeBytes = size * uint64(cores)
-					cfg.WarmupInstructions, cfg.MeasureInstructions = warm, meas
-					r, err := runCfg(cfg, mix.Benches, o.seed())
-					if err != nil {
-						return nil, err
-					}
-					ws := weightedSpeedup(r, alone)
-					if mech == config.Baseline {
-						base = append(base, ws)
-					} else {
-						dbi = append(dbi, ws)
-					}
-				}
+			for i := range mixes {
+				base = append(base, weightedSpeedup(rs[2*i], alone))
+				dbi = append(dbi, weightedSpeedup(rs[2*i+1], alone))
 			}
 			res.Improvement[size][cores] = stats.Mean(dbi)/stats.Mean(base) - 1
 		}

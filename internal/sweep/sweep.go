@@ -1,0 +1,124 @@
+// Package sweep is the parallel experiment harness: it shards
+// independent simulation cells across a pool of worker goroutines and
+// merges their results in a stable order, so every sweep behind the
+// paper's figures and tables (Figures 6-8, Tables 3-7, the sensitivity
+// and ablation studies) saturates the machine without perturbing the
+// numbers it produces.
+//
+// Determinism contract: a cell's result may depend only on the cell's
+// own inputs — configuration, benchmarks and seed — never on scheduling
+// or on other cells. Run returns outcomes indexed exactly like the
+// input slice, so for any worker count (including 1, the old sequential
+// path) the merged result set is bit-identical. Seeds for replicated
+// cells come from CellSeed, which is a pure function of the cell's
+// identity, not of execution order.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key identifies one cell of an experiment's run matrix. Unused
+// dimensions stay zero; String renders only the populated ones.
+type Key struct {
+	// Experiment is the harness id (fig6, tab3, ...).
+	Experiment string
+	// Benchmark is the benchmark or workload-mix name on the cores.
+	Benchmark string
+	// Mechanism is the cache organization under study.
+	Mechanism string
+	// Cores is the core count for multi-core cells (0 means 1).
+	Cores int
+	// Param carries any extra sweep dimension ("gran=16,alpha=1/4").
+	Param string
+	// Run is the replica index; run 0 is the canonical paper cell.
+	Run int
+}
+
+func (k Key) String() string {
+	s := k.Experiment
+	if k.Benchmark != "" {
+		s += "/" + k.Benchmark
+	}
+	if k.Mechanism != "" {
+		s += "/" + k.Mechanism
+	}
+	if k.Cores > 1 {
+		s += fmt.Sprintf("/%dcore", k.Cores)
+	}
+	if k.Param != "" {
+		s += "/" + k.Param
+	}
+	if k.Run > 0 {
+		s += fmt.Sprintf("/run%d", k.Run)
+	}
+	return s
+}
+
+// Cell is one independent unit of simulation work.
+type Cell[T any] struct {
+	Key Key
+	Run func() (T, error)
+}
+
+// Outcome pairs a cell's result with its identity and wall-clock cost.
+type Outcome[T any] struct {
+	Key     Key
+	Value   T
+	Elapsed time.Duration
+}
+
+// Run executes the cells on `workers` goroutines (0 or less means
+// GOMAXPROCS) and returns their outcomes in input order. After the
+// first failure no new cells are started; cells already in flight
+// finish, and the error of the earliest-indexed failed cell is
+// returned, wrapped with its key.
+func Run[T any](cells []Cell[T], workers int) ([]Outcome[T], error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	outs := make([]Outcome[T], len(cells))
+	errs := make([]error, len(cells))
+
+	var failed atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				start := time.Now()
+				v, err := cells[i].Run()
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				outs[i] = Outcome[T]{Key: cells[i].Key, Value: v, Elapsed: time.Since(start)}
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: cell %s: %w", cells[i].Key, err)
+		}
+	}
+	return outs, nil
+}
