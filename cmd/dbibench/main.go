@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"dbisim/internal/experiments"
@@ -120,6 +122,68 @@ func usage() {
 	}
 }
 
+// progressPrinter renders live sweep progress ("12/45 cells, ETA 30s")
+// on stderr. Updates arrive concurrently from the worker pool;
+// rendering is throttled so terminals are not flooded. A new sweep is
+// detected when the total changes or the done count restarts.
+type progressPrinter struct {
+	mu      sync.Mutex
+	label   string
+	start   time.Time
+	total   int
+	lastN   int
+	lastOut time.Time
+	active  bool
+	wrote   bool
+}
+
+// setLabel names the sweeps that follow (the experiment id).
+func (p *progressPrinter) setLabel(l string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.label = l
+	p.active = false
+}
+
+func (p *progressPrinter) update(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if !p.active || total != p.total || done < p.lastN {
+		p.start, p.total, p.active = now, total, true
+	}
+	p.lastN = done
+	if done < total && now.Sub(p.lastOut) < 200*time.Millisecond {
+		return
+	}
+	p.lastOut = now
+	line := fmt.Sprintf("[%s] %d/%d cells", p.label, done, total)
+	if done < total {
+		if elapsed := now.Sub(p.start); elapsed > 0 && done > 0 {
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "\r\x1b[2K%s", line)
+		p.wrote = true
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\r\x1b[2K%s\n", line)
+	p.wrote = false
+}
+
+// clear erases a dangling progress line before normal output.
+func (p *progressPrinter) clear() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wrote {
+		fmt.Fprint(os.Stderr, "\r\x1b[2K")
+		p.wrote = false
+	}
+}
+
 func main() {
 	var (
 		name = flag.String("experiment", "all",
@@ -132,14 +196,58 @@ func main() {
 			"write per-cell metrics, wall clock and speedup to this JSON file")
 		check = flag.Bool("check", false,
 			"verify the paper's Figure-6a mechanism ordering (needs fig6 in the run)")
+		cpuProfile = flag.String("cpuprofile", "",
+			"write a pprof CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "",
+			"write a pprof heap profile at exit to this file")
+		progress = flag.Bool("progress", true,
+			"report live per-sweep cell progress and ETA on stderr")
 	)
 	flag.Usage = usage
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbibench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dbibench: cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "dbibench: cpu profile -> %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dbibench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is meaningful
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dbibench: heap profile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "dbibench: heap profile -> %s\n", *memProfile)
+		}()
+	}
 
 	rec := &sweep.Recorder{}
 	o := experiments.Options{
 		Out: os.Stdout, Quick: !*full, Seed: *seed,
 		Parallel: *par, Recorder: rec,
+	}
+	var prog *progressPrinter
+	if *progress {
+		prog = &progressPrinter{}
+		o.Progress = prog.update
 	}
 
 	var selected []runner
@@ -159,7 +267,12 @@ func main() {
 	for _, r := range selected {
 		expStart := time.Now()
 		fmt.Printf("\n===== %s =====\n", r.id)
-		if err := r.run(o); err != nil {
+		if prog != nil {
+			prog.setLabel(r.id)
+		}
+		err := r.run(o)
+		prog.clear()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "dbibench: %s: %v\n", r.id, err)
 			os.Exit(1)
 		}

@@ -6,16 +6,25 @@
 //
 //	dbisim -mech DBI+AWB+CLB -bench lbm
 //	dbisim -cores 2 -bench GemsFDTD,libquantum -mech DAWB -paper
+//	dbisim -trace trace.json -timeseries ts.json -epoch 100000
+//	dbisim -json result.json
+//
+// The telemetry flags are additive observers: enabling them changes
+// nothing about the simulated run (the printed statistics are
+// bit-identical with and without them).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"dbisim/internal/config"
+	"dbisim/internal/sweep"
 	"dbisim/internal/system"
+	"dbisim/internal/telemetry"
 	"dbisim/internal/trace"
 )
 
@@ -28,6 +37,35 @@ func parseMech(s string) (config.Mechanism, error) {
 	return 0, fmt.Errorf("unknown mechanism %q (want one of %v)", s, config.AllMechanisms())
 }
 
+// writeResultJSON emits the run as one sweep.Record, so a single
+// dbisim run and a dbibench sweep cell share the same JSON schema.
+func writeResultJSON(path, mech string, benches []string, seed int64, r system.Results) error {
+	rec := sweep.Record{
+		Key: sweep.Key{
+			Experiment: "dbisim",
+			Benchmark:  strings.Join(benches, ","),
+			Mechanism:  mech,
+			Cores:      len(benches),
+		}.String(),
+		Experiment: "dbisim",
+		Benchmark:  strings.Join(benches, ","),
+		Mechanism:  mech,
+		Cores:      len(benches),
+		Seed:       seed,
+		Metrics:    r.Metrics(),
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
 func main() {
 	var (
 		mechName = flag.String("mech", "DBI+AWB+CLB", "LLC mechanism (Baseline, TA-DIP, DAWB, VWQ, SkipCache, DBI, DBI+AWB, DBI+CLB, DBI+AWB+CLB)")
@@ -38,6 +76,17 @@ func main() {
 		measure  = flag.Uint64("measure", 0, "override measured instructions per core")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		list     = flag.Bool("list", false, "list benchmark models and exit")
+
+		jsonPath = flag.String("json", "",
+			"write machine-readable results to this file (sweep-record schema; \"-\" for stdout)")
+		tracePath = flag.String("trace", "",
+			"write a Chrome trace-event JSON of the run (load in Perfetto or chrome://tracing)")
+		traceCap = flag.Int("tracecap", telemetry.DefaultCapacity,
+			"trace ring-buffer capacity in events (oldest events drop beyond it)")
+		tsPath = flag.String("timeseries", "",
+			"write epoch-sampled component metrics to this file (.csv for CSV, else JSON)")
+		epoch = flag.Uint64("epoch", 100_000,
+			"time-series sampling epoch in cycles")
 	)
 	flag.Parse()
 
@@ -84,7 +133,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *tracePath != "" {
+		sys.AttachTracer(telemetry.NewTracer(*traceCap))
+	}
+	if *tsPath != "" {
+		sys.EnableTimeSeries(*epoch)
+	}
 	r := sys.Run()
+
+	if *tracePath != "" {
+		if err := sys.Tracer().WriteFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "dbisim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dbisim: %d trace events (%d dropped) -> %s\n",
+			sys.Tracer().Len(), sys.Tracer().Dropped(), *tracePath)
+	}
+	if *tsPath != "" {
+		ts := sys.Sampler().Series()
+		if err := ts.WriteFile(*tsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "dbisim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dbisim: %d samples x %d metrics -> %s\n",
+			len(ts.Samples), len(ts.Metrics), *tsPath)
+	}
+	if *jsonPath != "" {
+		if err := writeResultJSON(*jsonPath, *mechName, names, *seed, r); err != nil {
+			fmt.Fprintln(os.Stderr, "dbisim:", err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("mechanism     %s\n", r.Mechanism)
 	fmt.Printf("cores         %d\n", n)

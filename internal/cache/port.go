@@ -3,6 +3,7 @@ package cache
 import (
 	"dbisim/internal/event"
 	"dbisim/internal/stats"
+	"dbisim/internal/telemetry"
 )
 
 // Port models a contended, non-pipelined lookup port (the shared L3 tag
@@ -78,6 +79,16 @@ func (p *Port) dispatch() {
 		}
 		p.dispatch()
 	})
+}
+
+// RegisterMetrics adds the port's contention probes under the given
+// name prefix (e.g. "llc.port").
+func (p *Port) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.CounterStat(prefix+".busy_cycles", &p.BusyCycles)
+	reg.CounterStat(prefix+".demand_ops", &p.DemandOps)
+	reg.CounterStat(prefix+".background_ops", &p.BackgroundOps)
+	reg.CounterStat(prefix+".queue_delay", &p.QueueDelay)
+	reg.Gauge(prefix+".queue_len", func() float64 { return float64(p.QueueLen()) })
 }
 
 // MSHR tracks outstanding misses so that requests to the same block merge

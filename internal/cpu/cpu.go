@@ -20,6 +20,7 @@ import (
 	"dbisim/internal/event"
 	"dbisim/internal/llc"
 	"dbisim/internal/stats"
+	"dbisim/internal/telemetry"
 	"dbisim/internal/trace"
 )
 
@@ -38,6 +39,10 @@ type Stats struct {
 type Core struct {
 	Eng *event.Engine
 	ID  int
+
+	// Trc, when non-nil, receives the core's request-lifecycle spans
+	// (issue → LLC → fill) on the core's own trace lane.
+	Trc *telemetry.Tracer
 
 	gen trace.Generator
 	l1  *cache.Cache
@@ -137,6 +142,20 @@ func (c *Core) IPC() float64 {
 		return 0
 	}
 	return float64(c.budget) / float64(c.doneCycle-c.startCycle)
+}
+
+// RegisterMetrics adds the core's probes to a telemetry registry under
+// a "cpuN." prefix.
+func (c *Core) RegisterMetrics(reg *telemetry.Registry) {
+	p := fmt.Sprintf("cpu%d.", c.ID)
+	reg.CounterStat(p+"instructions", &c.Stat.Instructions)
+	reg.CounterStat(p+"loads", &c.Stat.Loads)
+	reg.CounterStat(p+"stores", &c.Stat.Stores)
+	reg.CounterStat(p+"l1_hits", &c.Stat.L1Hits)
+	reg.CounterStat(p+"l2_hits", &c.Stat.L2Hits)
+	reg.CounterStat(p+"llc_accesses", &c.Stat.LLCAccesses)
+	reg.CounterStat(p+"window_stalls", &c.Stat.WindowStalls)
+	reg.Gauge(p+"inflight_loads", func() float64 { return float64(len(c.inflight)) })
 }
 
 // L1 exposes the private L1 (tests, diagnostics).
@@ -282,7 +301,11 @@ func (c *Core) fetchShared(b addr.BlockAddr, done func()) {
 	}
 	c.outstanding[b] = []func(){done}
 	c.Stat.LLCAccesses.Inc()
+	start := c.Eng.Now()
 	c.llc.Read(b, c.ID, func() {
+		// The whole shared-level journey: LLC lookup (or bypass), DRAM
+		// queueing, bank service, fill — one span per missed block.
+		c.Trc.Complete("cpu", "llc_read", c.ID, uint64(start), uint64(c.Eng.Now()), uint64(b))
 		ws := c.outstanding[b]
 		delete(c.outstanding, b)
 		for _, w := range ws {

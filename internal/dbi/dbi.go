@@ -32,6 +32,7 @@ import (
 	"dbisim/internal/addr"
 	"dbisim/internal/config"
 	"dbisim/internal/stats"
+	"dbisim/internal/telemetry"
 )
 
 // RegionID identifies one DBI-entry-sized, row-aligned group of blocks.
@@ -380,6 +381,22 @@ func (d *DBI) DirtyCount() int {
 		}
 	}
 	return n
+}
+
+// RegisterMetrics adds the DBI's probes to a telemetry registry:
+// operation counters, occupancy gauges (entry-eviction pressure shows
+// up as valid_entries pinned at capacity while evictions climb), and
+// the dirty-blocks-per-evicted-entry histogram.
+func (d *DBI) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterStat("dbi.lookups", &d.Stat.Lookups)
+	reg.CounterStat("dbi.writes", &d.Stat.Writes)
+	reg.CounterStat("dbi.cleans", &d.Stat.Cleans)
+	reg.CounterStat("dbi.entry_inserts", &d.Stat.EntryInserts)
+	reg.CounterStat("dbi.evictions", &d.Stat.Evictions)
+	reg.CounterStat("dbi.eviction_blocks", &d.Stat.EvictionBlocks)
+	reg.Gauge("dbi.valid_entries", func() float64 { return float64(d.ValidEntries()) })
+	reg.Gauge("dbi.dirty_blocks", func() float64 { return float64(d.DirtyCount()) })
+	reg.Histogram("dbi.dirty_at_eviction", d.Stat.DirtyAtEviction)
 }
 
 // ValidEntries returns the number of valid entries.

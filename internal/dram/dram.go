@@ -20,6 +20,7 @@ import (
 	"dbisim/internal/config"
 	"dbisim/internal/event"
 	"dbisim/internal/stats"
+	"dbisim/internal/telemetry"
 )
 
 // request is a queued memory transaction.
@@ -55,6 +56,10 @@ type Stats struct {
 	WriteBufOverflw stats.Counter // writes accepted beyond nominal capacity
 	ReadLatencySum  stats.Counter // summed cycles from enqueue to data
 	Refreshes       stats.Counter // auto-refresh commands issued
+	// DrainBurst histograms how many writes each write-drain episode
+	// issued — the burst lengths AWB lengthens by handing the controller
+	// whole rows of writebacks at once.
+	DrainBurst *stats.Histogram
 }
 
 // Controller is the single-channel memory controller plus DRAM banks.
@@ -64,13 +69,19 @@ type Controller struct {
 	Prm  config.DRAMParams
 	Stat Stats
 
-	banks     []bankState
-	readQ     []request
-	writeQ    []request
-	inflight  int
-	draining  bool
-	busFreeAt event.Cycle
-	kickAt    event.Cycle // pending wakeup, 0 = none
+	// Trc, when non-nil, receives bank-service duration events and
+	// drain instants. Emission nil-checks inside the tracer, so the
+	// disabled path costs one compare.
+	Trc *telemetry.Tracer
+
+	banks      []bankState
+	readQ      []request
+	writeQ     []request
+	inflight   int
+	draining   bool
+	drainBurst int // writes issued by the in-progress drain episode
+	busFreeAt  event.Cycle
+	kickAt     event.Cycle // pending wakeup, 0 = none
 }
 
 // New builds a controller. The geometry's bank count must match the DRAM
@@ -85,6 +96,7 @@ func New(eng *event.Engine, geo addr.Geometry, p config.DRAMParams) (*Controller
 		Prm:   p,
 		banks: make([]bankState, p.Banks),
 	}
+	c.Stat.DrainBurst = stats.NewHistogram(2 * p.WriteBufferEntries)
 	if p.RefreshInterval > 0 {
 		c.scheduleRefresh()
 	}
@@ -204,10 +216,14 @@ func (c *Controller) wakeAt(at event.Cycle) {
 func (c *Controller) selectQueue() (*[]request, bool) {
 	if !c.draining && len(c.writeQ) >= c.Prm.WriteBufferEntries {
 		c.draining = true
+		c.drainBurst = 0
 		c.Stat.DrainsStarted.Inc()
+		c.Trc.Instant("dram", "drain_start", telemetry.TIDDRAM, uint64(c.Eng.Now()), uint64(len(c.writeQ)))
 	}
 	if c.draining && len(c.writeQ) <= c.Prm.WriteDrainLow {
 		c.draining = false
+		c.Stat.DrainBurst.Observe(c.drainBurst)
+		c.Trc.Instant("dram", "drain_end", telemetry.TIDDRAM, uint64(c.Eng.Now()), uint64(c.drainBurst))
 	}
 	switch {
 	case c.draining && len(c.writeQ) > 0:
@@ -260,9 +276,20 @@ func (c *Controller) issue(r request, isWrite bool) {
 	bank.freeAt = done
 	if isWrite {
 		bank.twrUntil = done + event.Cycle(c.Prm.TWR)
+		if c.draining {
+			c.drainBurst++
+		}
 	}
 	bank.open = true
 	bank.openRow = r.row
+	if c.Trc != nil {
+		// Bank-service span: preparation start through burst completion.
+		name := "read"
+		if isWrite {
+			name = "write"
+		}
+		c.Trc.Complete("dram", name, telemetry.TIDBank(r.bank), uint64(prepStart), uint64(done), uint64(r.block))
+	}
 
 	c.inflight++
 	c.Eng.Schedule(done, func() {
@@ -321,4 +348,30 @@ func (s *Stats) WriteRowHitRate() float64 {
 // AvgReadLatency returns mean cycles from read enqueue to data.
 func (s *Stats) AvgReadLatency() float64 {
 	return stats.Ratio(s.ReadLatencySum.Value(), s.Reads.Value())
+}
+
+// RegisterMetrics adds the controller's probes to a telemetry registry:
+// command counters (sampled as per-epoch deltas), queue-depth gauges,
+// and the drain-burst histogram.
+func (c *Controller) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterStat("dram.reads", &c.Stat.Reads)
+	reg.CounterStat("dram.writes", &c.Stat.Writes)
+	reg.CounterStat("dram.read_row_hits", &c.Stat.ReadRowHits)
+	reg.CounterStat("dram.write_row_hits", &c.Stat.WriteRowHits)
+	reg.CounterStat("dram.row_conflicts", &c.Stat.RowConflicts)
+	reg.CounterStat("dram.activates", &c.Stat.Activates)
+	reg.CounterStat("dram.precharges", &c.Stat.Precharges)
+	reg.CounterStat("dram.write_buf_hits", &c.Stat.WriteBufHits)
+	reg.CounterStat("dram.drains_started", &c.Stat.DrainsStarted)
+	reg.CounterStat("dram.refreshes", &c.Stat.Refreshes)
+	reg.CounterStat("dram.read_latency_sum", &c.Stat.ReadLatencySum)
+	reg.Gauge("dram.read_queue", func() float64 { return float64(len(c.readQ)) })
+	reg.Gauge("dram.write_queue", func() float64 { return float64(len(c.writeQ)) })
+	reg.Gauge("dram.draining", func() float64 {
+		if c.draining {
+			return 1
+		}
+		return 0
+	})
+	reg.Histogram("dram.drain_burst", c.Stat.DrainBurst)
 }

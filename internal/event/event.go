@@ -123,6 +123,33 @@ func (e *Engine) Run() {
 // event completes. Pending events remain queued.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Every schedules fn to run every period cycles, first firing period
+// cycles from now, until the returned cancel function is called. It is
+// the epoch hook the telemetry sampler uses: the callback runs like any
+// other event (so same-cycle ordering stays deterministic), and because
+// rescheduling happens before fn, fn may inspect but must not mutate
+// simulation state if the run's results are to stay unperturbed.
+//
+// Note that a live periodic event keeps the queue non-empty, so Run
+// only returns via Stop while one is active; cancel before relying on
+// queue drain.
+func (e *Engine) Every(period Cycle, fn Func) (cancel func()) {
+	if period == 0 {
+		panic("event: Every with zero period")
+	}
+	active := true
+	var tick Func
+	tick = func() {
+		if !active {
+			return
+		}
+		e.ScheduleAfter(period, tick)
+		fn()
+	}
+	e.ScheduleAfter(period, tick)
+	return func() { active = false }
+}
+
 // Ticker invokes a callback every Period cycles while active. It is the
 // building block for components with per-cycle work (e.g. cache ports,
 // the DRAM command scheduler) that want to avoid scheduling events during

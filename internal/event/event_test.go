@@ -214,3 +214,51 @@ func TestQuickMonotonicClock(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEveryFiresPeriodicallyUntilCancelled(t *testing.T) {
+	var e Engine
+	var fired []Cycle
+	cancel := e.Every(10, func() { fired = append(fired, e.Now()) })
+	e.Schedule(35, func() { cancel() })
+	e.Schedule(100, func() {}) // keeps the clock advancing past the cancel
+	e.Run()
+	want := []Cycle{10, 20, 30}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if e.Pending() != 0 && e.Now() != 100 {
+		t.Fatalf("engine did not drain: pending=%d now=%d", e.Pending(), e.Now())
+	}
+}
+
+func TestEveryDoesNotReorderSameCycleEvents(t *testing.T) {
+	// Two engines, one with a periodic sampler interleaved: the relative
+	// order of the real events must be identical.
+	run := func(sample bool) []int {
+		var e Engine
+		var order []int
+		if sample {
+			e.Every(5, func() {})
+		}
+		for i := 0; i < 20; i++ {
+			i := i
+			e.Schedule(Cycle(5*(i%4)), func() { order = append(order, i) })
+		}
+		e.RunUntil(16) // the live periodic event means Run would never drain
+		return order
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order perturbed at %d: %v vs %v", i, a, b)
+		}
+	}
+}

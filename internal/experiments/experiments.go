@@ -35,6 +35,11 @@ type Options struct {
 	// Recorder, when non-nil, receives one machine-readable record per
 	// simulation cell for the -json report.
 	Recorder *sweep.Recorder
+	// Progress, when non-nil, fires after each simulation cell
+	// completes with (done, total) for the current sweep. Callbacks
+	// arrive from worker goroutines; the callee must be
+	// concurrency-safe.
+	Progress func(done, total int)
 }
 
 func (o Options) out() io.Writer {

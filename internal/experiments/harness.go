@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"runtime"
 
 	"dbisim/internal/config"
@@ -70,7 +69,7 @@ func (o Options) runCells(cells []simCell) ([]system.Results, error) {
 			Run: func() (system.Results, error) { return runCfg(c.cfg, c.benches, seed) },
 		}
 	}
-	outs, err := sweep.Run(sc, o.workers())
+	outs, err := sweep.RunWithProgress(sc, o.workers(), o.Progress)
 	if err != nil {
 		return nil, err
 	}
@@ -86,29 +85,11 @@ func (o Options) runCells(cells []simCell) ([]system.Results, error) {
 			Param:      out.Key.Param,
 			Run:        out.Key.Run,
 			Seed:       seeds[i],
-			Metrics:    cellMetrics(out.Value),
+			Metrics:    out.Value.Metrics(),
 			ElapsedMS:  float64(out.Elapsed.Microseconds()) / 1000,
 		})
 	}
 	return res, nil
-}
-
-// cellMetrics flattens the figure-6 series and DRAM counters of one
-// run into the name→value map the JSON report carries.
-func cellMetrics(r system.Results) map[string]float64 {
-	m := map[string]float64{
-		"write_row_hit_rate": r.WriteRowHitRate,
-		"read_row_hit_rate":  r.ReadRowHitRate,
-		"tag_lookups_pki":    r.TagLookupsPKI,
-		"mem_writes_pki":     r.MemWritesPKI,
-		"mem_reads_pki":      r.MemReadsPKI,
-		"llc_mpki":           r.LLCMPKI,
-		"avg_read_latency":   r.AvgReadLatency,
-	}
-	for i, c := range r.PerCore {
-		m[fmt.Sprintf("ipc_core%d", i)] = c.IPC
-	}
-	return m
 }
 
 // mixBenches flattens mixes into per-mix benchmark lists for alone-IPC

@@ -21,6 +21,7 @@ import (
 	"dbisim/internal/event"
 	"dbisim/internal/misspred"
 	"dbisim/internal/stats"
+	"dbisim/internal/telemetry"
 )
 
 // Memory is the LLC's view of the memory controller.
@@ -76,6 +77,10 @@ type LLC struct {
 	Pred  *misspred.Predictor // nil unless CLB or Skip Cache
 	mshr  *cache.MSHR
 	mem   Memory
+
+	// Trc, when non-nil, receives tag-lookup spans, bypass instants and
+	// the DBI lifecycle events (entry allocate/evict, AWB harvests).
+	Trc *telemetry.Tracer
 
 	// vwqDepth is how many LRU ways VWQ scans (the Set State Vector
 	// covers this many ways per set).
@@ -202,13 +207,17 @@ func (l *LLC) Read(b addr.BlockAddr, thread int, done func()) {
 // dead on arrival).
 func (l *LLC) bypass(b addr.BlockAddr, done func()) {
 	l.Stat.Bypasses.Inc()
+	l.Trc.Instant("llc", "bypass", telemetry.TIDLLC, uint64(l.Eng.Now()), uint64(b))
 	l.fetch(b, done, false, 0)
 }
 
 // lookupRead performs the demand tag lookup and the hit/miss handling.
 func (l *LLC) lookupRead(b addr.BlockAddr, thread int, done func()) {
 	set := l.Cache.SetOf(b)
+	start := l.Eng.Now()
 	l.Port.Submit(false, l.tagLatency(), func() {
+		// Span covers queueing for the contended port plus occupancy.
+		l.Trc.Complete("llc", "tag_lookup", telemetry.TIDLLC, uint64(start), uint64(l.Eng.Now()), uint64(b))
 		hit := l.Cache.Access(b, thread)
 		if l.Pred != nil {
 			l.Pred.Observe(thread, set, hit, l.Eng.Now())
@@ -298,7 +307,21 @@ func (l *LLC) Writeback(b addr.BlockAddr, thread int) {
 // (Section 2.2.4). The eviction goes through the evict buffer (scan
 // queue) so its writebacks interleave with demand traffic.
 func (l *LLC) dbiSetDirty(b addr.BlockAddr) {
+	var preInserts uint64
+	if l.Trc != nil {
+		preInserts = l.DBI.Stat.EntryInserts.Value()
+	}
 	ev, evicted := l.DBI.SetDirty(b)
+	if l.Trc != nil {
+		now := uint64(l.Eng.Now())
+		if l.DBI.Stat.EntryInserts.Value() > preInserts {
+			l.Trc.Instant("dbi", "entry_alloc", telemetry.TIDDBI, now, uint64(b))
+		}
+		if evicted {
+			// The drain of an evicted entry's aggregated writebacks.
+			l.Trc.Instant("dbi", "entry_evict_drain", telemetry.TIDDBI, now, uint64(len(ev.Blocks)))
+		}
+	}
 	if !evicted {
 		return
 	}
@@ -463,6 +486,11 @@ func (l *LLC) harvestAWB(b addr.BlockAddr) {
 			mates = append(mates, mate)
 		}
 	}
+	if len(mates) > 0 {
+		// One AWB aggregated-writeback drain: a whole row's dirty mates
+		// head for the write buffer together.
+		l.Trc.Instant("dbi", "awb_harvest", telemetry.TIDDBI, uint64(l.Eng.Now()), uint64(len(mates)))
+	}
 	l.enqueueScan(mates, false, func(mate addr.BlockAddr) {
 		l.Stat.FillerLookups.Inc()
 		if _, hit := l.Cache.Lookup(mate); hit && l.DBI.IsDirty(mate) {
@@ -475,6 +503,29 @@ func (l *LLC) harvestAWB(b addr.BlockAddr) {
 
 // TagLookups reports total tag-store lookups (Figure 6c's numerator).
 func (l *LLC) TagLookups() uint64 { return l.Cache.Stats.TagLookups.Value() }
+
+// RegisterMetrics adds the LLC's probes (and those of its port and DBI,
+// when present) to a telemetry registry.
+func (l *LLC) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterStat("llc.reads", &l.Stat.Reads)
+	reg.CounterStat("llc.read_hits", &l.Stat.ReadHits)
+	reg.CounterStat("llc.read_misses", &l.Stat.ReadMisses)
+	reg.CounterStat("llc.bypasses", &l.Stat.Bypasses)
+	reg.CounterStat("llc.bypass_dirty", &l.Stat.BypassDirty)
+	reg.CounterStat("llc.writeback_reqs", &l.Stat.WritebackReqs)
+	reg.CounterStat("llc.filler_lookups", &l.Stat.FillerLookups)
+	reg.CounterStat("llc.proactive_wbs", &l.Stat.ProactiveWBs)
+	reg.CounterStat("llc.dbi_eviction_wbs", &l.Stat.DBIEvictionWBs)
+	reg.CounterStat("llc.victim_wbs", &l.Stat.VictimWBs)
+	reg.CounterStat("llc.write_throughs", &l.Stat.WriteThroughs)
+	reg.CounterStat("llc.scan_drops", &l.Stat.ScanDrops)
+	reg.Counter("llc.tag_lookups", l.TagLookups)
+	reg.Gauge("llc.scan_queue", func() float64 { return float64(len(l.scanQ)) })
+	l.Port.RegisterMetrics(reg, "llc.port")
+	if l.DBI != nil {
+		l.DBI.RegisterMetrics(reg)
+	}
+}
 
 // Flush writes back every dirty block, using the DBI's row-grouped flush
 // when available (Section 7, "Cache Flushing"). It returns the number of

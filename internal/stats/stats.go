@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -139,6 +140,28 @@ func (h *Histogram) Bucket(v int) uint64 {
 		return 0
 	}
 	return h.buckets[v]
+}
+
+// Buckets returns a copy of the per-value sample counts (index = sample
+// value, last index = overflow bucket). Telemetry snapshots use it to
+// export histograms into time-series records.
+func (h *Histogram) Buckets() []uint64 {
+	return append([]uint64(nil), h.buckets...)
+}
+
+// Sum returns the sum of all observed samples (un-clamped).
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// MarshalJSON serializes the histogram as its summary plus buckets, so
+// histograms embedded in exported stats structs appear in JSON reports
+// instead of being report-only.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Count   uint64   `json:"count"`
+		Sum     uint64   `json:"sum"`
+		Mean    float64  `json:"mean"`
+		Buckets []uint64 `json:"buckets"`
+	}{h.count, h.sum, h.Mean(), h.Buckets()})
 }
 
 // Quantile returns the smallest bucket value at or below which at least

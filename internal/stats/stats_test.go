@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -175,5 +176,51 @@ func TestQuickGeoMeanBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketsAccessor(t *testing.T) {
+	h := NewHistogram(4)
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(9) // clamps into the overflow bucket
+	b := h.Buckets()
+	if len(b) != 5 {
+		t.Fatalf("buckets len = %d, want 5 (0..3 + overflow)", len(b))
+	}
+	if b[1] != 2 || b[4] != 1 {
+		t.Fatalf("buckets = %v, want [0 2 0 0 1]", b)
+	}
+	b[1] = 99 // the accessor must copy, not alias
+	if h.Bucket(1) != 2 {
+		t.Fatal("Buckets() aliases internal state")
+	}
+	if h.Sum() != 1+1+9 {
+		t.Fatalf("Sum = %d, want 11", h.Sum())
+	}
+}
+
+func TestHistogramMarshalJSON(t *testing.T) {
+	h := NewHistogram(3)
+	h.Observe(2)
+	h.Observe(2)
+	out, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Count   uint64   `json:"count"`
+		Sum     uint64   `json:"sum"`
+		Mean    float64  `json:"mean"`
+		Buckets []uint64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatalf("histogram JSON does not round-trip: %v\n%s", err, out)
+	}
+	if got.Count != 2 || got.Sum != 4 || got.Mean != 2 {
+		t.Fatalf("summary = %+v", got)
+	}
+	if len(got.Buckets) != 4 || got.Buckets[2] != 2 {
+		t.Fatalf("buckets = %v", got.Buckets)
 	}
 }

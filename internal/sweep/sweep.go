@@ -78,6 +78,14 @@ type Outcome[T any] struct {
 // finish, and the error of the earliest-indexed failed cell is
 // returned, wrapped with its key.
 func Run[T any](cells []Cell[T], workers int) ([]Outcome[T], error) {
+	return RunWithProgress(cells, workers, nil)
+}
+
+// RunWithProgress is Run with a completion callback: progress(done,
+// total) fires after each cell finishes, from the finishing worker's
+// goroutine, so it must be safe for concurrent use (an atomic counter
+// plus stderr writes in practice). A nil progress reproduces Run.
+func RunWithProgress[T any](cells []Cell[T], workers int, progress func(done, total int)) ([]Outcome[T], error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -88,6 +96,7 @@ func Run[T any](cells []Cell[T], workers int) ([]Outcome[T], error) {
 	errs := make([]error, len(cells))
 
 	var failed atomic.Bool
+	var done atomic.Int64
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -106,6 +115,9 @@ func Run[T any](cells []Cell[T], workers int) ([]Outcome[T], error) {
 					continue
 				}
 				outs[i] = Outcome[T]{Key: cells[i].Key, Value: v, Elapsed: time.Since(start)}
+				if progress != nil {
+					progress(int(done.Add(1)), len(cells))
+				}
 			}
 		}()
 	}

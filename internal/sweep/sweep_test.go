@@ -3,7 +3,9 @@ package sweep
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -166,5 +168,38 @@ func TestRecorderReportStableAndSpeedup(t *testing.T) {
 	nilRec.Add(Record{}) // must not panic
 	if nilRec.Records() != nil {
 		t.Fatal("nil recorder returned records")
+	}
+}
+
+func TestRunWithProgressReportsEveryCell(t *testing.T) {
+	cells := make([]Cell[int], 7)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{Key: Key{Experiment: "p"}, Run: func() (int, error) { return i, nil }}
+	}
+	var mu sync.Mutex
+	var dones []int
+	outs, err := RunWithProgress(cells, 3, func(done, total int) {
+		if total != len(cells) {
+			t.Errorf("total = %d, want %d", total, len(cells))
+		}
+		mu.Lock()
+		dones = append(dones, done)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(cells) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(cells))
+	}
+	if len(dones) != len(cells) {
+		t.Fatalf("progress calls = %d, want %d", len(dones), len(cells))
+	}
+	sort.Ints(dones)
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done values %v, want 1..%d each exactly once", dones, len(cells))
+		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"dbisim/internal/event"
 	"dbisim/internal/llc"
 	"dbisim/internal/stats"
+	"dbisim/internal/telemetry"
 	"dbisim/internal/trace"
 )
 
@@ -28,6 +29,9 @@ type System struct {
 
 	benchNames []string
 	snap       snapshot
+
+	tracer  *telemetry.Tracer
+	sampler *telemetry.Sampler
 }
 
 // CoreResult is one core's measured performance.
@@ -104,6 +108,49 @@ func New(cfg config.SystemConfig, benches []string, seed int64) (*System, error)
 	return s, nil
 }
 
+// AttachTracer wires a request-lifecycle tracer into every component
+// and labels their viewer lanes. Call it after New and before Run; a
+// nil tracer detaches. Tracing must never change simulated behavior —
+// TestTelemetryDoesNotPerturbResults holds Run's Results bit-identical
+// with and without it.
+func (s *System) AttachTracer(t *telemetry.Tracer) {
+	s.tracer = t
+	s.Mem.Trc = t
+	s.LLC.Trc = t
+	for i, c := range s.Cores {
+		c.Trc = t
+		t.NameThread(i, fmt.Sprintf("core %d", i))
+	}
+	t.NameThread(telemetry.TIDLLC, "llc")
+	t.NameThread(telemetry.TIDDBI, "dbi")
+	t.NameThread(telemetry.TIDDRAM, "dram ctrl")
+	for b := 0; b < s.Cfg.DRAM.Banks; b++ {
+		t.NameThread(telemetry.TIDBank(b), fmt.Sprintf("dram bank %d", b))
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
+
+// EnableTimeSeries registers every component's metrics and arms an
+// epoch sampler that snapshots them every epochCycles cycles during
+// Run. The sampler only reads counters at epoch boundaries, so — like
+// tracing — it cannot perturb the simulation's results.
+func (s *System) EnableTimeSeries(epochCycles uint64) *telemetry.Sampler {
+	reg := telemetry.NewRegistry()
+	for _, c := range s.Cores {
+		c.RegisterMetrics(reg)
+	}
+	s.LLC.RegisterMetrics(reg)
+	s.Mem.RegisterMetrics(reg)
+	s.sampler = telemetry.NewSampler(reg, epochCycles)
+	return s.sampler
+}
+
+// Sampler returns the armed epoch sampler (nil when time series are
+// off).
+func (s *System) Sampler() *telemetry.Sampler { return s.sampler }
+
 // snapshot captures the global counters at the start of the measurement
 // window so harvest can report measured-window rates. Without it, the
 // warmup transient (an LLC filling with dirty blocks writes nothing to
@@ -150,6 +197,16 @@ func (s *System) takeSnapshot() snapshot {
 // contention) until the last core completes its measured budget. Global
 // rates are measured from the moment the last core finishes warmup.
 func (s *System) Run() Results {
+	if s.sampler != nil {
+		smp := s.sampler
+		cancel := s.Eng.Every(event.Cycle(smp.Epoch()), func() {
+			smp.Tick(uint64(s.Eng.Now()))
+		})
+		defer func() {
+			cancel()
+			smp.Finish(uint64(s.Eng.Now()))
+		}()
+	}
 	remaining := len(s.Cores)
 	warming := len(s.Cores)
 	for _, c := range s.Cores {
@@ -215,6 +272,25 @@ func (s *System) harvest() Results {
 	r.PortQueueDelay = s.LLC.Port.QueueDelay.Value() - sn.portQueueDelay
 	r.DrainsStarted = ms.DrainsStarted.Value() - sn.drains
 	return r
+}
+
+// Metrics flattens the results into the name→value map carried by
+// sweep records and the -json output of cmd/dbisim, so single runs and
+// sweep cells share one schema.
+func (r Results) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"write_row_hit_rate": r.WriteRowHitRate,
+		"read_row_hit_rate":  r.ReadRowHitRate,
+		"tag_lookups_pki":    r.TagLookupsPKI,
+		"mem_writes_pki":     r.MemWritesPKI,
+		"mem_reads_pki":      r.MemReadsPKI,
+		"llc_mpki":           r.LLCMPKI,
+		"avg_read_latency":   r.AvgReadLatency,
+	}
+	for i, c := range r.PerCore {
+		m[fmt.Sprintf("ipc_core%d", i)] = c.IPC
+	}
+	return m
 }
 
 // WeightedSpeedup computes Σ IPCshared/IPCalone over cores, given the

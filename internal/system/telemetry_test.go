@@ -1,0 +1,145 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"dbisim/internal/config"
+	"dbisim/internal/telemetry"
+)
+
+// telemetryCfg is a small-but-real configuration that exercises the
+// whole instrumented path: DBI entry churn, AWB harvests, CLB bypasses
+// and write-drain episodes.
+func telemetryCfg() (config.SystemConfig, []string) {
+	cfg := config.Scaled(1, config.DBIAWBCLB)
+	cfg.WarmupInstructions = 60_000
+	cfg.MeasureInstructions = 120_000
+	return cfg, []string{"stream"}
+}
+
+// TestTelemetryDoesNotPerturbResults is the determinism contract: a run
+// with tracing and time-series sampling enabled must produce Results
+// bit-identical to a run without them.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	cfg, benches := telemetryCfg()
+
+	plain, err := New(cfg, benches, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plain.Run()
+
+	traced, err := New(cfg, benches, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced.AttachTracer(telemetry.NewTracer(1 << 16))
+	smp := traced.EnableTimeSeries(10_000)
+	got := traced.Run()
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("telemetry perturbed Results:\nwithout: %+v\nwith:    %+v", want, got)
+	}
+	if traced.Tracer().Emitted() == 0 {
+		t.Error("tracer collected no events")
+	}
+	if len(smp.Series().Samples) == 0 {
+		t.Error("sampler collected no samples")
+	}
+}
+
+// TestTraceContainsLifecycleEvents asserts the acceptance criteria on
+// the trace content: DRAM bank-service duration events and DBI drain
+// instants from a DBI+AWB+CLB run, serializable as valid JSON.
+func TestTraceContainsLifecycleEvents(t *testing.T) {
+	cfg, benches := telemetryCfg()
+	sys, err := New(cfg, benches, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc := telemetry.NewTracer(1 << 16)
+	sys.AttachTracer(trc)
+	sys.Run()
+
+	want := map[string]bool{
+		"dram/X/read":  false, // bank service spans
+		"dram/X/write": false,
+		"cpu/X":        false, // llc_read lifecycle spans
+		"dbi/i":        false, // entry/drain instants
+	}
+	for _, e := range trc.Events() {
+		switch {
+		case e.Cat == "dram" && e.Ph == telemetry.PhaseComplete && e.Name == "read":
+			want["dram/X/read"] = true
+		case e.Cat == "dram" && e.Ph == telemetry.PhaseComplete && e.Name == "write":
+			want["dram/X/write"] = true
+		case e.Cat == "cpu" && e.Ph == telemetry.PhaseComplete:
+			want["cpu/X"] = true
+		case e.Cat == "dbi" && e.Ph == telemetry.PhaseInstant:
+			want["dbi/i"] = true
+		}
+	}
+	for k, ok := range want {
+		if !ok {
+			t.Errorf("trace is missing %s events", k)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := trc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace JSON has no traceEvents")
+	}
+}
+
+// TestTimeSeriesCoversRun checks that sampling yields epoch-spaced
+// samples across the run, with DBI and DRAM columns present and the
+// dirty-at-eviction histogram tracked.
+func TestTimeSeriesCoversRun(t *testing.T) {
+	cfg, benches := telemetryCfg()
+	sys, err := New(cfg, benches, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := sys.EnableTimeSeries(10_000)
+	sys.Run()
+
+	ts := smp.Series()
+	if len(ts.Samples) < 3 {
+		t.Fatalf("only %d samples; want several epochs", len(ts.Samples))
+	}
+	cols := make(map[string]bool, len(ts.Metrics))
+	for _, n := range ts.Metrics {
+		cols[n] = true
+	}
+	for _, need := range []string{
+		"cpu0.instructions", "llc.writeback_reqs", "llc.port.busy_cycles",
+		"dbi.evictions", "dbi.valid_entries", "dram.writes", "dram.write_queue",
+	} {
+		if !cols[need] {
+			t.Errorf("time series missing column %s", need)
+		}
+	}
+	if _, ok := ts.Histograms["dbi.dirty_at_eviction"]; !ok {
+		t.Error("time series missing dbi.dirty_at_eviction histogram track")
+	}
+	if _, ok := ts.Histograms["dram.drain_burst"]; !ok {
+		t.Error("time series missing dram.drain_burst histogram track")
+	}
+	for i, s := range ts.Samples[:len(ts.Samples)-1] {
+		if want := uint64(10_000 * (i + 1)); s.Cycle != want {
+			t.Fatalf("sample %d at cycle %d, want %d", i, s.Cycle, want)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package telemetry is the simulator's observability layer: a metrics
+// registry with an epoch sampler that turns component counters into
+// cycle-domain time series, and a request-lifecycle tracer that emits
+// Chrome trace-event JSON (see tracer.go).
+//
+// Design constraints, in order:
+//
+//   - Zero cost when disabled. Components keep a possibly-nil *Tracer
+//     and emit through nil-receiver methods whose first instruction is a
+//     nil check; counters are the ordinary stats.Counter fields the
+//     components already increment, observed from the outside by probe
+//     closures that only run at epoch boundaries. A simulation with
+//     telemetry off executes exactly the instructions it executed before
+//     this package existed.
+//
+//   - No determinism perturbation. Telemetry never mutates simulation
+//     state: probes are read-only, the sampler's epoch events only read
+//     counters, and trace emission appends to a preallocated ring.
+//     Enabling any of it yields bit-identical system.Results (enforced
+//     by TestTelemetryDoesNotPerturbResults in internal/system).
+//
+//   - Bounded memory. The tracer ring overwrites its oldest events; the
+//     sampler's growth is one record per epoch, chosen by the user.
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"dbisim/internal/stats"
+)
+
+// probeKind distinguishes how a probe's readings become samples.
+type probeKind uint8
+
+const (
+	// kindCounter probes are cumulative; the sampler records the delta
+	// since the previous epoch, so bursts show up as spikes rather than
+	// as a slope change on an ever-growing line.
+	kindCounter probeKind = iota
+	// kindGauge probes are instantaneous (queue depths, valid entries);
+	// the sampler records the value as read.
+	kindGauge
+)
+
+type probe struct {
+	name string
+	kind probeKind
+	fn   func() float64
+	last float64
+}
+
+type histProbe struct {
+	name string
+	h    *stats.Histogram
+}
+
+// Registry collects the named probes of every component in a system.
+// Components expose a RegisterMetrics method that adds their probes;
+// registration order fixes the column order of the exported series, so
+// wiring order (which is deterministic) fully determines the output
+// layout. A nil *Registry accepts and discards registrations, so call
+// sites never need to guard.
+type Registry struct {
+	probes []probe
+	hists  []histProbe
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a cumulative counter probe; the sampler records
+// per-epoch deltas.
+func (r *Registry) Counter(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.probes = append(r.probes, probe{name: name, kind: kindCounter, fn: func() float64 { return float64(fn()) }})
+}
+
+// CounterStat registers a stats.Counter directly.
+func (r *Registry) CounterStat(name string, c *stats.Counter) {
+	r.Counter(name, func() uint64 { return c.Value() })
+}
+
+// Gauge registers an instantaneous probe; the sampler records the value
+// read at each epoch boundary.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.probes = append(r.probes, probe{name: name, kind: kindGauge, fn: fn})
+}
+
+// Histogram registers a histogram whose buckets are snapshotted
+// (cumulatively) at each epoch boundary.
+func (r *Registry) Histogram(name string, h *stats.Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.hists = append(r.hists, histProbe{name: name, h: h})
+}
+
+// Names returns the registered scalar metric names in column order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.probes))
+	for i, p := range r.probes {
+		out[i] = p.name
+	}
+	return out
+}
+
+// Sample is one epoch's scalar readings; Values is parallel to the
+// series' Metrics names.
+type Sample struct {
+	Cycle  uint64    `json:"cycle"`
+	Values []float64 `json:"values"`
+}
+
+// HistSample is one epoch's snapshot of a registered histogram. The
+// buckets are cumulative (diff two snapshots for an epoch-local view).
+type HistSample struct {
+	Cycle   uint64   `json:"cycle"`
+	Count   uint64   `json:"count"`
+	Mean    float64  `json:"mean"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// TimeSeries is the exported document: metric names, one Sample per
+// epoch, and per-histogram snapshot tracks.
+type TimeSeries struct {
+	EpochCycles uint64                  `json:"epoch_cycles"`
+	Metrics     []string                `json:"metrics"`
+	Samples     []Sample                `json:"samples"`
+	Histograms  map[string][]HistSample `json:"histograms,omitempty"`
+}
+
+// Sampler snapshots a registry every epoch. Drive it from the event
+// engine (system.Run arms it via event.Engine.Every); each Tick reads
+// every probe and appends one Sample.
+type Sampler struct {
+	reg    *Registry
+	epoch  uint64
+	series TimeSeries
+	lastAt uint64
+	any    bool
+}
+
+// NewSampler builds a sampler over reg with the given epoch length in
+// cycles (minimum 1).
+func NewSampler(reg *Registry, epochCycles uint64) *Sampler {
+	if epochCycles < 1 {
+		epochCycles = 1
+	}
+	return &Sampler{
+		reg:   reg,
+		epoch: epochCycles,
+		series: TimeSeries{
+			EpochCycles: epochCycles,
+			Metrics:     reg.Names(),
+		},
+	}
+}
+
+// Epoch returns the configured epoch length in cycles.
+func (s *Sampler) Epoch() uint64 { return s.epoch }
+
+// Tick records one sample at the given cycle. Counter probes record the
+// delta since the previous tick; gauges record the instantaneous value.
+func (s *Sampler) Tick(cycle uint64) {
+	vals := make([]float64, len(s.reg.probes))
+	for i := range s.reg.probes {
+		p := &s.reg.probes[i]
+		v := p.fn()
+		if p.kind == kindCounter {
+			vals[i] = v - p.last
+			p.last = v
+		} else {
+			vals[i] = v
+		}
+	}
+	s.series.Samples = append(s.series.Samples, Sample{Cycle: cycle, Values: vals})
+	for _, hp := range s.reg.hists {
+		if s.series.Histograms == nil {
+			s.series.Histograms = make(map[string][]HistSample)
+		}
+		s.series.Histograms[hp.name] = append(s.series.Histograms[hp.name], HistSample{
+			Cycle:   cycle,
+			Count:   hp.h.Count(),
+			Mean:    hp.h.Mean(),
+			Buckets: hp.h.Buckets(),
+		})
+	}
+	s.lastAt, s.any = cycle, true
+}
+
+// Finish records a final partial-epoch sample at the given cycle unless
+// one was already taken there, so the tail of the run is never lost.
+func (s *Sampler) Finish(cycle uint64) {
+	if s.any && cycle <= s.lastAt {
+		return
+	}
+	s.Tick(cycle)
+}
+
+// Series returns the accumulated time series.
+func (s *Sampler) Series() *TimeSeries { return &s.series }
+
+// WriteJSON serializes the series as indented JSON.
+func (ts *TimeSeries) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ts)
+}
+
+// WriteCSV writes the scalar samples as CSV: a cycle column followed by
+// one column per metric. Histogram tracks are JSON-only.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"cycle"}, ts.Metrics...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 1+len(ts.Metrics))
+	for _, s := range ts.Samples {
+		row[0] = strconv.FormatUint(s.Cycle, 10)
+		for i, v := range s.Values {
+			row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFile writes the series to path — CSV when the path ends in
+// ".csv", indented JSON otherwise.
+func (ts *TimeSeries) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if len(path) > 4 && path[len(path)-4:] == ".csv" {
+		werr = ts.WriteCSV(f)
+	} else {
+		werr = ts.WriteJSON(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("telemetry: writing %s: %w", path, werr)
+	}
+	return nil
+}
