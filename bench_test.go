@@ -14,9 +14,11 @@ package main_test
 import (
 	"os"
 	"testing"
+	"time"
 
 	"dbisim/internal/config"
 	"dbisim/internal/experiments"
+	"dbisim/internal/system"
 )
 
 func opts() experiments.Options {
@@ -208,6 +210,28 @@ func BenchmarkAreaPower(b *testing.B) {
 		}
 		b.ReportMetric(res.AreaReductionQuarter, "area-reduction-quarter")
 		b.ReportMetric(res.DRAMEnergyReduction, "DRAM-energy-reduction")
+	}
+}
+
+// BenchmarkSimThroughput measures the simulator's own speed — the
+// north-star "fast as the hardware allows" quantities: simulated
+// cycles and engine events per host second on a full single-core
+// DBI+AWB+CLB system. The same numbers ride the telemetry time-series
+// export as self.* gauges and the dbistat perf trajectory.
+func BenchmarkSimThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := config.Scaled(1, config.DBIAWBCLB)
+		cfg.WarmupInstructions = 100_000
+		cfg.MeasureInstructions = 300_000
+		sys, err := system.New(cfg, []string{"stream"}, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		sys.Run()
+		secs := time.Since(start).Seconds()
+		b.ReportMetric(float64(sys.Eng.Now())/secs, "simcycles/sec")
+		b.ReportMetric(float64(sys.Eng.Fired())/secs, "events/sec")
 	}
 }
 

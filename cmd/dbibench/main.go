@@ -20,7 +20,6 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"sync"
 	"time"
 
 	"dbisim/internal/experiments"
@@ -122,68 +121,6 @@ func usage() {
 	}
 }
 
-// progressPrinter renders live sweep progress ("12/45 cells, ETA 30s")
-// on stderr. Updates arrive concurrently from the worker pool;
-// rendering is throttled so terminals are not flooded. A new sweep is
-// detected when the total changes or the done count restarts.
-type progressPrinter struct {
-	mu      sync.Mutex
-	label   string
-	start   time.Time
-	total   int
-	lastN   int
-	lastOut time.Time
-	active  bool
-	wrote   bool
-}
-
-// setLabel names the sweeps that follow (the experiment id).
-func (p *progressPrinter) setLabel(l string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.label = l
-	p.active = false
-}
-
-func (p *progressPrinter) update(done, total int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	now := time.Now()
-	if !p.active || total != p.total || done < p.lastN {
-		p.start, p.total, p.active = now, total, true
-	}
-	p.lastN = done
-	if done < total && now.Sub(p.lastOut) < 200*time.Millisecond {
-		return
-	}
-	p.lastOut = now
-	line := fmt.Sprintf("[%s] %d/%d cells", p.label, done, total)
-	if done < total {
-		if elapsed := now.Sub(p.start); elapsed > 0 && done > 0 {
-			eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
-			line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
-		}
-		fmt.Fprintf(os.Stderr, "\r\x1b[2K%s", line)
-		p.wrote = true
-		return
-	}
-	fmt.Fprintf(os.Stderr, "\r\x1b[2K%s\n", line)
-	p.wrote = false
-}
-
-// clear erases a dangling progress line before normal output.
-func (p *progressPrinter) clear() {
-	if p == nil {
-		return
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.wrote {
-		fmt.Fprint(os.Stderr, "\r\x1b[2K")
-		p.wrote = false
-	}
-}
-
 func main() {
 	var (
 		name = flag.String("experiment", "all",
@@ -200,8 +137,9 @@ func main() {
 			"write a pprof CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "",
 			"write a pprof heap profile at exit to this file")
-		progress = flag.Bool("progress", true,
-			"report live per-sweep cell progress and ETA on stderr")
+		progress = flag.Bool("progress", stderrIsTerminal(),
+			"report live per-sweep cell progress and ETA on stderr "+
+				"(defaults to on only when stderr is a terminal)")
 	)
 	flag.Usage = usage
 	flag.Parse()

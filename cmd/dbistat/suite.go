@@ -1,0 +1,146 @@
+package main
+
+import (
+	"io"
+
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+	"dbisim/internal/dbi"
+	"dbisim/internal/event"
+	"dbisim/internal/experiments"
+	"dbisim/internal/perfstat"
+	"dbisim/internal/system"
+)
+
+// The recording suite. Micro targets mirror the `go test -bench`
+// micro-benchmarks (internal/event, internal/dbi) as fixed-size loops
+// so each run is one comparable observation; macro targets run whole
+// paper experiments through internal/sweep sequentially (Parallel: 1),
+// which keeps wall time attributable and allocation deltas clean. The
+// heavyweight sweeps (fig6, tab7: minutes per round sequentially) stay
+// out of the recording suite on purpose — CI still runs them once per
+// commit via dbibench.
+
+// microOps sizes the fixed micro loops: large enough to dwarf timer
+// granularity, small enough that a round is sub-second.
+const microOps = 2_000_000
+
+// suite assembles the benchmark targets for a recording session.
+func suite(kind string, seed int64) []perfstat.Target {
+	var ts []perfstat.Target
+	if kind == "all" || kind == perfstat.KindMicro {
+		ts = append(ts,
+			perfstat.Target{Name: "micro/event.chain", Kind: perfstat.KindMicro, Run: eventChain},
+			perfstat.Target{Name: "micro/dbi.setdirty", Kind: perfstat.KindMicro, Run: dbiSetDirty},
+			perfstat.Target{Name: "micro/dbi.isdirty", Kind: perfstat.KindMicro, Run: dbiIsDirty},
+			perfstat.Target{Name: "micro/sim.stream", Kind: perfstat.KindMicro, Run: func() (perfstat.Counts, error) {
+				return simStream(seed)
+			}},
+		)
+	}
+	if kind == "all" || kind == perfstat.KindMacro {
+		ts = append(ts,
+			macroTarget("macro/casestudy", seed, func(o experiments.Options) error {
+				_, err := experiments.CaseStudy(o)
+				return err
+			}),
+			macroTarget("macro/clbsens", seed, func(o experiments.Options) error {
+				_, err := experiments.CLBSensitivity(o)
+				return err
+			}),
+			macroTarget("macro/flushlat", seed, func(o experiments.Options) error {
+				_, err := experiments.Flush(o)
+				return err
+			}),
+		)
+	}
+	return ts
+}
+
+// eventChain measures raw engine throughput: schedule-and-fire of
+// chained events, the backbone cost of every simulation (mirrors
+// event.BenchmarkScheduleRun).
+func eventChain() (perfstat.Counts, error) {
+	var e event.Engine
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < microOps {
+			e.ScheduleAfter(1, step)
+		}
+	}
+	e.ScheduleAfter(1, step)
+	e.Run()
+	return perfstat.Counts{Cycles: uint64(e.Now()), Events: e.Fired(), Ops: microOps}, nil
+}
+
+// microDBI builds the 16MB-cache-sized DBI the dbi micro-benchmarks
+// use.
+func microDBI() (*dbi.DBI, error) {
+	return dbi.New(addr.Default(), config.DBIParams{
+		AlphaNum: 1, AlphaDen: 4, Granularity: 64,
+		Associativity: 16, Latency: 4,
+		Replacement: config.DBILRW, BIPEpsilonDen: 64,
+	}, 262144, 1)
+}
+
+// dbiSetDirty measures the hot write path including evictions.
+func dbiSetDirty() (perfstat.Counts, error) {
+	d, err := microDBI()
+	if err != nil {
+		return perfstat.Counts{}, err
+	}
+	for i := 0; i < microOps; i++ {
+		d.SetDirty(addr.BlockAddr(i * 37))
+	}
+	return perfstat.Counts{Ops: microOps}, nil
+}
+
+// dbiIsDirty measures the CLB guard query against a warm DBI.
+func dbiIsDirty() (perfstat.Counts, error) {
+	d, err := microDBI()
+	if err != nil {
+		return perfstat.Counts{}, err
+	}
+	for i := 0; i < 4096; i++ {
+		d.SetDirty(addr.BlockAddr(i))
+	}
+	for i := 0; i < microOps; i++ {
+		d.IsDirty(addr.BlockAddr(i & 8191))
+	}
+	return perfstat.Counts{Ops: microOps}, nil
+}
+
+// simStream runs one full single-core system end to end and reports
+// engine-domain throughput: simulated cycles and fired events per
+// host second are the purest "how fast is the simulator" numbers.
+func simStream(seed int64) (perfstat.Counts, error) {
+	cfg := config.Scaled(1, config.DBIAWBCLB)
+	cfg.WarmupInstructions = 100_000
+	cfg.MeasureInstructions = 300_000
+	sys, err := system.New(cfg, []string{"stream"}, seed)
+	if err != nil {
+		return perfstat.Counts{}, err
+	}
+	sys.Run()
+	return perfstat.Counts{Cycles: uint64(sys.Eng.Now()), Events: sys.Eng.Fired(), Cells: 1}, nil
+}
+
+// macroTarget wraps an experiment runner as a sequential quick sweep.
+// Completed cells are counted through the process-wide perfstat
+// counter the sweep worker pool feeds — the same signal the telemetry
+// self.cells_per_sec gauge reads — so every sweep-driven experiment
+// reports cells uniformly whether or not it uses a Recorder.
+func macroTarget(name string, seed int64, run func(experiments.Options) error) perfstat.Target {
+	return perfstat.Target{Name: name, Kind: perfstat.KindMacro, Run: func() (perfstat.Counts, error) {
+		before := perfstat.CellCount()
+		o := experiments.Options{
+			Out: io.Discard, Quick: true, Seed: seed, Parallel: 1,
+		}
+		if err := run(o); err != nil {
+			return perfstat.Counts{}, err
+		}
+		return perfstat.Counts{Cells: perfstat.CellCount() - before}, nil
+	}}
+}

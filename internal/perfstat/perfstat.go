@@ -1,0 +1,160 @@
+// Package perfstat is the simulator's performance observatory: a
+// statistically rigorous benchmark-run model plus the self-throughput
+// counters that let the project watch its own speed over time.
+//
+// The paper this repository reproduces argues every mechanism with
+// measured deltas; perfstat applies the same discipline to the
+// simulator itself. A Runner executes each target N times in
+// interleaved rounds (round-robin across targets rather than
+// back-to-back, so drift — thermal, frequency scaling, page cache —
+// spreads evenly over all targets instead of biasing the last one),
+// derives throughput metrics from each run, and condenses them into
+// mean/stddev/95%-CI summaries. Recordings serialize to a versioned
+// BENCH_<sha>.json schema (report.go) carrying full environment
+// metadata, and two recordings can be compared with Welch's t-test
+// (diff.go) so "it got slower" is a statistical verdict, not a vibe.
+package perfstat
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Kind classifies a benchmark target.
+const (
+	KindMicro = "micro" // component-level hot-path loops
+	KindMacro = "macro" // whole experiment sweeps via internal/sweep
+)
+
+// Counts is what a target reports about one execution: how much
+// simulated work it performed. The runner measures wall time and
+// allocation deltas around the call; the target fills in the
+// work-domain counters it knows about (zeros mean "not applicable"
+// and suppress the derived metric).
+type Counts struct {
+	// Cycles is simulated cycles executed (event.Engine.Now).
+	Cycles uint64
+	// Events is engine events fired (event.Engine.Fired).
+	Events uint64
+	// Cells is simulation cells completed (sweep cells, or 1 for a
+	// single full-system run).
+	Cells uint64
+	// Ops is abstract operations for micro loops (DBI lookups, events
+	// scheduled, ...).
+	Ops uint64
+}
+
+// Target is one benchmark the runner executes.
+type Target struct {
+	Name string
+	Kind string // KindMicro or KindMacro
+	Run  func() (Counts, error)
+}
+
+// Benchmark is the recorded result of one target: a summary per
+// derived metric.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Kind    string             `json:"kind"`
+	Metrics map[string]Summary `json:"metrics"`
+}
+
+// Direction returns +1 when larger values of the metric are better
+// (throughputs), -1 when smaller values are better (durations and
+// per-cell costs). Unknown metrics default to -1, the conservative
+// choice for a regression gate.
+func Direction(metric string) int {
+	switch metric {
+	case "cycles_per_sec", "events_per_sec", "cells_per_sec", "ops_per_sec":
+		return +1
+	default: // wall_ns, allocs_per_cell, bytes_per_cell, ...
+		return -1
+	}
+}
+
+// RunConfig controls a recording session.
+type RunConfig struct {
+	// Rounds is how many times each target executes (minimum 1).
+	Rounds int
+	// Log, when non-nil, receives one progress line per completed run.
+	Log func(format string, args ...any)
+}
+
+// Run executes every target Rounds times in interleaved rounds and
+// returns one Benchmark per target, in target order. Round r runs
+// target 0, 1, 2, ... before round r+1 begins, so slow environmental
+// drift affects all targets alike. Execution order is deterministic:
+// it depends only on the target list and round count.
+func Run(targets []Target, cfg RunConfig) ([]Benchmark, error) {
+	rounds := cfg.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	obs := make([]map[string][]float64, len(targets))
+	for i := range obs {
+		obs[i] = map[string][]float64{}
+	}
+	for r := 0; r < rounds; r++ {
+		for i, t := range targets {
+			sample, err := measure(t)
+			if err != nil {
+				return nil, fmt.Errorf("perfstat: %s (round %d): %w", t.Name, r+1, err)
+			}
+			for name, v := range sample {
+				obs[i][name] = append(obs[i][name], v)
+			}
+			if cfg.Log != nil {
+				cfg.Log("[%d/%d] %-24s %.3fs", r+1, rounds, t.Name,
+					sample["wall_ns"]/1e9)
+			}
+		}
+	}
+	out := make([]Benchmark, len(targets))
+	for i, t := range targets {
+		b := Benchmark{Name: t.Name, Kind: t.Kind, Metrics: map[string]Summary{}}
+		for name, vals := range obs[i] {
+			b.Metrics[name] = Summarize(vals)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// measure executes one target once and derives its metric values for
+// this run. Allocation counters come from runtime.ReadMemStats deltas;
+// a GC beforehand keeps one target's garbage from being charged to the
+// next.
+func measure(t Target) (map[string]float64, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	c, err := t.Run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, err
+	}
+	secs := wall.Seconds()
+	m := map[string]float64{"wall_ns": float64(wall.Nanoseconds())}
+	if secs > 0 {
+		if c.Cycles > 0 {
+			m["cycles_per_sec"] = float64(c.Cycles) / secs
+		}
+		if c.Events > 0 {
+			m["events_per_sec"] = float64(c.Events) / secs
+		}
+		if c.Cells > 0 {
+			m["cells_per_sec"] = float64(c.Cells) / secs
+		}
+		if c.Ops > 0 {
+			m["ops_per_sec"] = float64(c.Ops) / secs
+		}
+	}
+	if c.Cells > 0 {
+		m["allocs_per_cell"] = float64(after.Mallocs-before.Mallocs) / float64(c.Cells)
+		m["bytes_per_cell"] = float64(after.TotalAlloc-before.TotalAlloc) / float64(c.Cells)
+	}
+	return m, nil
+}

@@ -1,0 +1,87 @@
+package perfstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Schema is the current report schema identifier. Readers reject
+// unknown schemas instead of misinterpreting them; bump the suffix on
+// incompatible changes.
+const Schema = "dbistat/v1"
+
+// Report is one serialized recording: the BENCH_<sha>.json document CI
+// uploads per commit and diffs against the committed baseline.
+type Report struct {
+	Schema     string      `json:"schema"`
+	RecordedAt string      `json:"recorded_at"`
+	Env        Env         `json:"env"`
+	Rounds     int         `json:"rounds"`
+	Suite      string      `json:"suite"`
+	Seed       int64       `json:"seed"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// NewReport assembles a recording document around runner output.
+func NewReport(env Env, rounds int, suite string, seed int64, benches []Benchmark) *Report {
+	return &Report{
+		Schema:     Schema,
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Env:        env,
+		Rounds:     rounds,
+		Suite:      suite,
+		Seed:       seed,
+		Benchmarks: benches,
+	}
+}
+
+// Benchmark returns the named benchmark, or nil.
+func (r *Report) Benchmark(name string) *Benchmark {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// DefaultFileName is the conventional recording name for a commit:
+// BENCH_<sha12>.json, or BENCH_unversioned.json outside a git
+// checkout.
+func (r *Report) DefaultFileName() string {
+	sha := r.Env.GitSHA
+	if sha == "" {
+		return "BENCH_unversioned.json"
+	}
+	if len(sha) > 12 {
+		sha = sha[:12]
+	}
+	return "BENCH_" + sha + ".json"
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadReport loads and validates a recording.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("perfstat: parsing %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perfstat: %s has schema %q, this build reads %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}

@@ -1,0 +1,17 @@
+package perfstat
+
+import "sync/atomic"
+
+// cellsDone counts simulation cells completed process-wide. The sweep
+// worker pool increments it after every finished cell; the telemetry
+// self-metrics gauges (internal/system) and dbistat's macro targets
+// read it to derive cells/sec and allocs/cell. One atomic add per cell
+// is host-side bookkeeping only — it can never perturb simulated
+// state.
+var cellsDone atomic.Uint64
+
+// CellDone records n completed simulation cells.
+func CellDone(n uint64) { cellsDone.Add(n) }
+
+// CellCount returns the process-wide completed-cell count.
+func CellCount() uint64 { return cellsDone.Load() }

@@ -1,0 +1,173 @@
+// Statistical machinery for benchmark comparisons: per-metric
+// summaries with confidence intervals and Welch's unequal-variance
+// t-test, the significance test dbistat uses to separate real
+// regressions from run-to-run noise.
+
+package perfstat
+
+import "math"
+
+// Summary condenses the per-round observations of one metric.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	// CI95 is the half-width of the 95% confidence interval of the
+	// mean (Student's t); 0 when fewer than two observations exist.
+	CI95   float64   `json:"ci95"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+// Summarize computes a Summary over the raw observations. The raw
+// values are retained so recordings stay re-analyzable.
+func Summarize(vals []float64) Summary {
+	s := Summary{N: len(vals), Values: append([]float64(nil), vals...)}
+	if s.N == 0 {
+		return s
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	ss := 0.0
+	for _, v := range vals {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = tCrit95(s.N-1) * s.Stddev / math.Sqrt(float64(s.N))
+	return s
+}
+
+// tCrit95 returns the two-sided 95% critical value of Student's t
+// distribution with df degrees of freedom (the table every stats text
+// prints; beyond df 120 the normal limit 1.96 is exact to three
+// digits).
+func tCrit95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+		2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+		2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+		2.052, 2.048, 2.045, 2.042,
+	}
+	switch {
+	case df <= 0:
+		return 0
+	case df < len(table):
+		return table[df]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}
+
+// Welch performs Welch's unequal-variance two-sample t-test on two
+// summaries and returns the two-sided p-value. Degenerate inputs get
+// the conservative answer: with fewer than two observations on either
+// side no test is possible (p = 1); with zero variance on both sides
+// the samples are point masses, so unequal means are certain (p = 0)
+// and equal means are indistinguishable (p = 1).
+func Welch(a, b Summary) (t, df, p float64) {
+	if a.N < 2 || b.N < 2 {
+		return 0, 0, 1
+	}
+	va := a.Stddev * a.Stddev / float64(a.N)
+	vb := b.Stddev * b.Stddev / float64(b.N)
+	se2 := va + vb
+	if se2 == 0 {
+		if a.Mean == b.Mean {
+			return 0, 0, 1
+		}
+		return math.Inf(sign(a.Mean - b.Mean)), math.Inf(1), 0
+	}
+	t = (a.Mean - b.Mean) / math.Sqrt(se2)
+	df = se2 * se2 / (va*va/float64(a.N-1) + vb*vb/float64(b.N-1))
+	// Two-sided p-value via the regularized incomplete beta function:
+	// P(|T| > |t|) = I_{df/(df+t^2)}(df/2, 1/2).
+	p = betaInc(df/2, 0.5, df/(df+t*t))
+	return t, df, p
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// betaInc is the regularized incomplete beta function I_x(a, b),
+// evaluated with the continued-fraction expansion (Numerical Recipes
+// §6.4); it converges fast for the t-distribution arguments used here.
+func betaInc(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	la, _ := math.Lgamma(a + b)
+	lb, _ := math.Lgamma(a)
+	lc, _ := math.Lgamma(b)
+	front := math.Exp(la - lb - lc + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for betaInc by the modified
+// Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpMin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpMin {
+		d = fpMin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -154,14 +154,19 @@ func (h *Histogram) Sum() uint64 { return h.sum }
 
 // MarshalJSON serializes the histogram as its summary plus buckets, so
 // histograms embedded in exported stats structs appear in JSON reports
-// instead of being report-only.
+// instead of being report-only. The p50/p95/p99 tail quantiles are
+// precomputed so consumers can plot latency percentiles without
+// client-side bucket math.
 func (h *Histogram) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
 		Count   uint64   `json:"count"`
 		Sum     uint64   `json:"sum"`
 		Mean    float64  `json:"mean"`
+		P50     int      `json:"p50"`
+		P95     int      `json:"p95"`
+		P99     int      `json:"p99"`
 		Buckets []uint64 `json:"buckets"`
-	}{h.count, h.sum, h.Mean(), h.Buckets()})
+	}{h.count, h.sum, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Buckets()})
 }
 
 // Quantile returns the smallest bucket value at or below which at least

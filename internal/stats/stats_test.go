@@ -212,6 +212,9 @@ func TestHistogramMarshalJSON(t *testing.T) {
 		Count   uint64   `json:"count"`
 		Sum     uint64   `json:"sum"`
 		Mean    float64  `json:"mean"`
+		P50     int      `json:"p50"`
+		P95     int      `json:"p95"`
+		P99     int      `json:"p99"`
 		Buckets []uint64 `json:"buckets"`
 	}
 	if err := json.Unmarshal(out, &got); err != nil {
@@ -219,6 +222,9 @@ func TestHistogramMarshalJSON(t *testing.T) {
 	}
 	if got.Count != 2 || got.Sum != 4 || got.Mean != 2 {
 		t.Fatalf("summary = %+v", got)
+	}
+	if got.P50 != 2 || got.P95 != 2 || got.P99 != 2 {
+		t.Fatalf("quantiles = p50=%d p95=%d p99=%d, want all 2", got.P50, got.P95, got.P99)
 	}
 	if len(got.Buckets) != 4 || got.Buckets[2] != 2 {
 		t.Fatalf("buckets = %v", got.Buckets)

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dbisim/internal/perfstat"
 )
 
 // Key identifies one cell of an experiment's run matrix. Unused
@@ -115,6 +117,7 @@ func RunWithProgress[T any](cells []Cell[T], workers int, progress func(done, to
 					continue
 				}
 				outs[i] = Outcome[T]{Key: cells[i].Key, Value: v, Elapsed: time.Since(start)}
+				perfstat.CellDone(1)
 				if progress != nil {
 					progress(int(done.Add(1)), len(cells))
 				}

@@ -6,6 +6,8 @@ package system
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"dbisim/internal/addr"
 	"dbisim/internal/config"
@@ -13,6 +15,7 @@ import (
 	"dbisim/internal/dram"
 	"dbisim/internal/event"
 	"dbisim/internal/llc"
+	"dbisim/internal/perfstat"
 	"dbisim/internal/stats"
 	"dbisim/internal/telemetry"
 	"dbisim/internal/trace"
@@ -32,6 +35,15 @@ type System struct {
 
 	tracer  *telemetry.Tracer
 	sampler *telemetry.Sampler
+
+	// Self-throughput baselines, captured at Run entry when time series
+	// are armed. They live in the host domain (wall clock, allocation
+	// counters, process-wide cell count), so the self.* gauges can
+	// report how fast the simulator itself is running without touching
+	// simulated state.
+	perfStart   time.Time
+	perfMallocs uint64
+	perfCells   uint64
 }
 
 // CoreResult is one core's measured performance.
@@ -143,8 +155,46 @@ func (s *System) EnableTimeSeries(epochCycles uint64) *telemetry.Sampler {
 	}
 	s.LLC.RegisterMetrics(reg)
 	s.Mem.RegisterMetrics(reg)
+	s.registerSelfMetrics(reg)
 	s.sampler = telemetry.NewSampler(reg, epochCycles)
 	return s.sampler
+}
+
+// registerSelfMetrics adds the simulator-throughput gauges — how fast
+// the simulation itself executes on the host — so they ride the same
+// time-series export path as the workload metrics. All four only read
+// host-domain state (wall clock, engine counters, allocation totals,
+// the process-wide sweep cell count), so they preserve the
+// bit-identical-Results guarantee like every other probe.
+func (s *System) registerSelfMetrics(reg *telemetry.Registry) {
+	elapsed := func() float64 { return time.Since(s.perfStart).Seconds() }
+	reg.Gauge("self.sim_cycles_per_sec", func() float64 {
+		if el := elapsed(); el > 0 {
+			return float64(s.Eng.Now()) / el
+		}
+		return 0
+	})
+	reg.Gauge("self.engine_events_per_sec", func() float64 {
+		if el := elapsed(); el > 0 {
+			return float64(s.Eng.Fired()) / el
+		}
+		return 0
+	})
+	reg.Gauge("self.cells_per_sec", func() float64 {
+		if el := elapsed(); el > 0 {
+			return float64(perfstat.CellCount()-s.perfCells) / el
+		}
+		return 0
+	})
+	reg.Gauge("self.allocs_per_cell", func() float64 {
+		cells := perfstat.CellCount() - s.perfCells
+		if cells == 0 {
+			return 0
+		}
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.Mallocs-s.perfMallocs) / float64(cells)
+	})
 }
 
 // Sampler returns the armed epoch sampler (nil when time series are
@@ -198,6 +248,11 @@ func (s *System) takeSnapshot() snapshot {
 // rates are measured from the moment the last core finishes warmup.
 func (s *System) Run() Results {
 	if s.sampler != nil {
+		s.perfStart = time.Now()
+		s.perfCells = perfstat.CellCount()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		s.perfMallocs = m.Mallocs
 		smp := s.sampler
 		cancel := s.Eng.Every(event.Cycle(smp.Epoch()), func() {
 			smp.Tick(uint64(s.Eng.Now()))

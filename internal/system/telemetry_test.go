@@ -126,6 +126,8 @@ func TestTimeSeriesCoversRun(t *testing.T) {
 	for _, need := range []string{
 		"cpu0.instructions", "llc.writeback_reqs", "llc.port.busy_cycles",
 		"dbi.evictions", "dbi.valid_entries", "dram.writes", "dram.write_queue",
+		"self.sim_cycles_per_sec", "self.engine_events_per_sec",
+		"self.cells_per_sec", "self.allocs_per_cell",
 	} {
 		if !cols[need] {
 			t.Errorf("time series missing column %s", need)
@@ -141,5 +143,42 @@ func TestTimeSeriesCoversRun(t *testing.T) {
 		if want := uint64(10_000 * (i + 1)); s.Cycle != want {
 			t.Fatalf("sample %d at cycle %d, want %d", i, s.Cycle, want)
 		}
+	}
+	for _, hs := range ts.Histograms["dbi.dirty_at_eviction"] {
+		if hs.Count > 0 && (hs.P95 < hs.P50 || hs.P99 < hs.P95) {
+			t.Fatalf("histogram quantiles not monotone: %+v", hs)
+		}
+	}
+}
+
+// TestSelfMetricsReportThroughput checks that the simulator's
+// self-throughput gauges carry live values during a run: the simulated
+// clock and the event counter advance, so by the last full epoch both
+// rates must be positive.
+func TestSelfMetricsReportThroughput(t *testing.T) {
+	cfg, benches := telemetryCfg()
+	sys, err := New(cfg, benches, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := sys.EnableTimeSeries(10_000)
+	sys.Run()
+
+	ts := smp.Series()
+	col := map[string]int{}
+	for i, n := range ts.Metrics {
+		col[n] = i
+	}
+	last := ts.Samples[len(ts.Samples)-1]
+	if v := last.Values[col["self.sim_cycles_per_sec"]]; v <= 0 {
+		t.Errorf("self.sim_cycles_per_sec = %v, want > 0", v)
+	}
+	if v := last.Values[col["self.engine_events_per_sec"]]; v <= 0 {
+		t.Errorf("self.engine_events_per_sec = %v, want > 0", v)
+	}
+	// No sweep cells complete inside a single standalone run, so the
+	// per-cell gauges stay at their well-defined zero.
+	if v := last.Values[col["self.allocs_per_cell"]]; v < 0 {
+		t.Errorf("self.allocs_per_cell = %v, want >= 0", v)
 	}
 }

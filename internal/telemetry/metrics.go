@@ -125,11 +125,17 @@ type Sample struct {
 }
 
 // HistSample is one epoch's snapshot of a registered histogram. The
-// buckets are cumulative (diff two snapshots for an epoch-local view).
+// buckets are cumulative (diff two snapshots for an epoch-local view);
+// the p50/p95/p99 quantiles are precomputed from the cumulative
+// distribution so snapshots are plottable without client-side bucket
+// math.
 type HistSample struct {
 	Cycle   uint64   `json:"cycle"`
 	Count   uint64   `json:"count"`
 	Mean    float64  `json:"mean"`
+	P50     int      `json:"p50"`
+	P95     int      `json:"p95"`
+	P99     int      `json:"p99"`
 	Buckets []uint64 `json:"buckets"`
 }
 
@@ -195,6 +201,9 @@ func (s *Sampler) Tick(cycle uint64) {
 			Cycle:   cycle,
 			Count:   hp.h.Count(),
 			Mean:    hp.h.Mean(),
+			P50:     hp.h.Quantile(0.50),
+			P95:     hp.h.Quantile(0.95),
+			P99:     hp.h.Quantile(0.99),
 			Buckets: hp.h.Buckets(),
 		})
 	}

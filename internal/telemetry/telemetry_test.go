@@ -166,6 +166,14 @@ func TestSamplerHistogramSnapshots(t *testing.T) {
 	if tracks[1].Count != 3 || tracks[1].Buckets[4] != 1 {
 		t.Errorf("snapshot 2 = %+v", tracks[1])
 	}
+	// Quantiles ride along precomputed: {2,2} → all quantiles at 2;
+	// {2,2,4} → p50 stays 2, the tail quantiles move to 4.
+	if tracks[0].P50 != 2 || tracks[0].P95 != 2 || tracks[0].P99 != 2 {
+		t.Errorf("snapshot 1 quantiles = %+v, want p50=p95=p99=2", tracks[0])
+	}
+	if tracks[1].P50 != 2 || tracks[1].P95 != 4 || tracks[1].P99 != 4 {
+		t.Errorf("snapshot 2 quantiles = %+v, want p50=2 p95=p99=4", tracks[1])
+	}
 }
 
 func TestTimeSeriesCSV(t *testing.T) {
