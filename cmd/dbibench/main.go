@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"dbisim/internal/cliflags"
 	"dbisim/internal/experiments"
 	"dbisim/internal/sweep"
 )
@@ -129,8 +130,7 @@ func main() {
 		seed = flag.Int64("seed", 42, "simulation seed")
 		par  = flag.Int("parallel", 0,
 			"worker goroutines per sweep (0 = one per CPU, 1 = sequential)")
-		jsonPath = flag.String("json", "",
-			"write per-cell metrics, wall clock and speedup to this JSON file")
+		out   cliflags.Output
 		check = flag.Bool("check", false,
 			"verify the paper's Figure-6a mechanism ordering (needs fig6 in the run)")
 		cpuProfile = flag.String("cpuprofile", "",
@@ -141,6 +141,8 @@ func main() {
 			"report live per-sweep cell progress and ETA on stderr "+
 				"(defaults to on only when stderr is a terminal)")
 	)
+	out.Register(flag.CommandLine,
+		"write per-cell metrics, wall clock and speedup to this JSON file (\"-\" for stdout)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -219,18 +221,18 @@ func main() {
 	}
 	wall := time.Since(start)
 
-	if *jsonPath != "" {
+	if out.Enabled() {
 		workers := *par
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
 		rep := rec.Report(*seed, workers, !*full, ran, wall)
-		if err := rep.WriteFile(*jsonPath); err != nil {
-			fmt.Fprintf(os.Stderr, "dbibench: writing %s: %v\n", *jsonPath, err)
+		if err := out.Write(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "dbibench: writing %s: %v\n", out.Path, err)
 			os.Exit(1)
 		}
 		fmt.Printf("[%d cells, busy %.1fs, wall %.1fs, speedup %.2fx -> %s]\n",
-			rep.CellCount, rep.BusySeconds, rep.WallSeconds, rep.Speedup, *jsonPath)
+			rep.CellCount, rep.BusySeconds, rep.WallSeconds, rep.Speedup, out.Path)
 	}
 
 	if *check {

@@ -15,16 +15,15 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"dbisim/internal/cliflags"
 	"dbisim/internal/config"
 	"dbisim/internal/sweep"
 	"dbisim/internal/system"
-	"dbisim/internal/telemetry"
 	"dbisim/internal/trace"
 )
 
@@ -37,10 +36,10 @@ func parseMech(s string) (config.Mechanism, error) {
 	return 0, fmt.Errorf("unknown mechanism %q (want one of %v)", s, config.AllMechanisms())
 }
 
-// writeResultJSON emits the run as one sweep.Record, so a single
-// dbisim run and a dbibench sweep cell share the same JSON schema.
-func writeResultJSON(path, mech string, benches []string, seed int64, r system.Results) error {
-	rec := sweep.Record{
+// resultRecord shapes the run as one sweep.Record, so a single dbisim
+// run and a dbibench sweep cell share the same JSON schema.
+func resultRecord(mech string, benches []string, seed int64, r system.Results) sweep.Record {
+	return sweep.Record{
 		Key: sweep.Key{
 			Experiment: "dbisim",
 			Benchmark:  strings.Join(benches, ","),
@@ -54,16 +53,6 @@ func writeResultJSON(path, mech string, benches []string, seed int64, r system.R
 		Seed:       seed,
 		Metrics:    r.Metrics(),
 	}
-	b, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	b = append(b, '\n')
-	if path == "-" {
-		_, err = os.Stdout.Write(b)
-		return err
-	}
-	return os.WriteFile(path, b, 0o644)
 }
 
 func main() {
@@ -77,17 +66,12 @@ func main() {
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		list     = flag.Bool("list", false, "list benchmark models and exit")
 
-		jsonPath = flag.String("json", "",
-			"write machine-readable results to this file (sweep-record schema; \"-\" for stdout)")
-		tracePath = flag.String("trace", "",
-			"write a Chrome trace-event JSON of the run (load in Perfetto or chrome://tracing)")
-		traceCap = flag.Int("tracecap", telemetry.DefaultCapacity,
-			"trace ring-buffer capacity in events (oldest events drop beyond it)")
-		tsPath = flag.String("timeseries", "",
-			"write epoch-sampled component metrics to this file (.csv for CSV, else JSON)")
-		epoch = flag.Uint64("epoch", 100_000,
-			"time-series sampling epoch in cycles")
+		tel cliflags.Telemetry
+		out cliflags.Output
 	)
+	tel.Register(flag.CommandLine)
+	out.Register(flag.CommandLine,
+		"write machine-readable results to this file (sweep-record schema; \"-\" for stdout)")
 	flag.Parse()
 
 	if *list {
@@ -128,38 +112,19 @@ func main() {
 		cfg.MeasureInstructions = *measure
 	}
 
-	sys, err := system.New(cfg, names, *seed)
+	sys, err := system.New(cfg, names, *seed, tel.Options()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *tracePath != "" {
-		sys.AttachTracer(telemetry.NewTracer(*traceCap))
-	}
-	if *tsPath != "" {
-		sys.EnableTimeSeries(*epoch)
-	}
 	r := sys.Run()
 
-	if *tracePath != "" {
-		if err := sys.Tracer().WriteFile(*tracePath); err != nil {
-			fmt.Fprintln(os.Stderr, "dbisim:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "dbisim: %d trace events (%d dropped) -> %s\n",
-			sys.Tracer().Len(), sys.Tracer().Dropped(), *tracePath)
+	if err := tel.WriteArtifacts(sys, "dbisim", os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dbisim:", err)
+		os.Exit(1)
 	}
-	if *tsPath != "" {
-		ts := sys.Sampler().Series()
-		if err := ts.WriteFile(*tsPath); err != nil {
-			fmt.Fprintln(os.Stderr, "dbisim:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "dbisim: %d samples x %d metrics -> %s\n",
-			len(ts.Samples), len(ts.Metrics), *tsPath)
-	}
-	if *jsonPath != "" {
-		if err := writeResultJSON(*jsonPath, *mechName, names, *seed, r); err != nil {
+	if out.Enabled() {
+		if err := out.Write(resultRecord(*mechName, names, *seed, r)); err != nil {
 			fmt.Fprintln(os.Stderr, "dbisim:", err)
 			os.Exit(1)
 		}

@@ -67,10 +67,10 @@ func eventChain() (perfstat.Counts, error) {
 	step = func() {
 		n++
 		if n < microOps {
-			e.ScheduleAfter(1, step)
+			e.After(1, step)
 		}
 	}
-	e.ScheduleAfter(1, step)
+	e.After(1, step)
 	e.Run()
 	return perfstat.Counts{Cycles: uint64(e.Now()), Events: e.Fired(), Ops: microOps}, nil
 }

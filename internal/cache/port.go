@@ -18,6 +18,8 @@ type Port struct {
 	busy       bool
 	demand     []portOp
 	background []portOp
+	curDone    func()     // completion callback of the op in flight
+	completeFn event.Func // bound once so dispatch never allocates
 
 	// Stats for contention analysis.
 	BusyCycles    stats.Counter
@@ -72,13 +74,25 @@ func (p *Port) dispatch() {
 	p.busy = true
 	p.QueueDelay.Add(uint64(p.Eng.Now() - op.enqueued))
 	p.BusyCycles.Add(uint64(op.dur))
-	p.Eng.ScheduleAfter(op.dur, func() {
-		p.busy = false
-		if op.done != nil {
-			op.done()
-		}
-		p.dispatch()
-	})
+	p.curDone = op.done
+	if p.completeFn == nil {
+		p.completeFn = p.complete
+	}
+	p.Eng.After(op.dur, p.completeFn)
+}
+
+// complete finishes the in-flight operation and dispatches the next.
+// The in-flight callback is held on the port (one op is in flight at a
+// time) rather than captured in a closure, keeping dispatch
+// allocation-free.
+func (p *Port) complete() {
+	done := p.curDone
+	p.curDone = nil
+	p.busy = false
+	if done != nil {
+		done()
+	}
+	p.dispatch()
 }
 
 // RegisterMetrics adds the port's contention probes under the given

@@ -1,0 +1,104 @@
+// Package cliflags holds the flag clusters the dbisim and dbibench
+// commands used to duplicate: the telemetry observers (-trace,
+// -tracecap, -timeseries, -epoch) and the machine-readable output path
+// (-json). Each cluster is a small struct that registers itself on a
+// flag.FlagSet, so both commands parse identical spellings and the
+// wiring into system.New options lives in exactly one place.
+package cliflags
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dbisim/internal/system"
+	"dbisim/internal/telemetry"
+)
+
+// Telemetry is the observer flag cluster. All four flags are additive
+// observers: enabling them never changes simulated Results.
+type Telemetry struct {
+	TracePath      string
+	TraceCap       int
+	TimeSeriesPath string
+	Epoch          uint64
+}
+
+// Register installs the -trace/-tracecap/-timeseries/-epoch flags.
+func (t *Telemetry) Register(fs *flag.FlagSet) {
+	fs.StringVar(&t.TracePath, "trace", "",
+		"write a Chrome trace-event JSON of the run (load in Perfetto or chrome://tracing)")
+	fs.IntVar(&t.TraceCap, "tracecap", telemetry.DefaultCapacity,
+		"trace ring-buffer capacity in events (oldest events drop beyond it)")
+	fs.StringVar(&t.TimeSeriesPath, "timeseries", "",
+		"write epoch-sampled component metrics to this file (.csv for CSV, else JSON)")
+	fs.Uint64Var(&t.Epoch, "epoch", 100_000,
+		"time-series sampling epoch in cycles")
+}
+
+// Options converts the parsed flags into system.New options. Flags
+// left at their zero value contribute nothing, so the returned slice
+// can always be splatted into New.
+func (t *Telemetry) Options() []system.Option {
+	var opts []system.Option
+	if t.TracePath != "" {
+		opts = append(opts, system.WithTracer(telemetry.NewTracer(t.TraceCap)))
+	}
+	if t.TimeSeriesPath != "" {
+		opts = append(opts, system.WithTimeSeries(t.Epoch))
+	}
+	return opts
+}
+
+// WriteArtifacts writes whichever telemetry files the flags requested
+// from a finished run, logging a one-line summary per artifact to errw
+// prefixed with prog (the command name).
+func (t *Telemetry) WriteArtifacts(sys *system.System, prog string, errw io.Writer) error {
+	if t.TracePath != "" {
+		tr := sys.Tracer()
+		if err := tr.WriteFile(t.TracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "%s: %d trace events (%d dropped) -> %s\n",
+			prog, tr.Len(), tr.Dropped(), t.TracePath)
+	}
+	if t.TimeSeriesPath != "" {
+		ts := sys.Sampler().Series()
+		if err := ts.WriteFile(t.TimeSeriesPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "%s: %d samples x %d metrics -> %s\n",
+			prog, len(ts.Samples), len(ts.Metrics), t.TimeSeriesPath)
+	}
+	return nil
+}
+
+// Output is the -json machine-readable output flag.
+type Output struct {
+	Path string
+}
+
+// Register installs the -json flag with a command-specific usage line.
+func (o *Output) Register(fs *flag.FlagSet, usage string) {
+	fs.StringVar(&o.Path, "json", "", usage)
+}
+
+// Enabled reports whether the caller asked for JSON output.
+func (o *Output) Enabled() bool { return o.Path != "" }
+
+// Write serializes v as indented JSON with a trailing newline to the
+// requested path, or to stdout when the path is "-".
+func (o *Output) Write(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if o.Path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(o.Path, b, 0o644)
+}

@@ -1,0 +1,105 @@
+package cliflags
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbisim/internal/config"
+	"dbisim/internal/system"
+	"dbisim/internal/telemetry"
+)
+
+func parse(t *testing.T, tel *Telemetry, out *Output, args ...string) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	if tel != nil {
+		tel.Register(fs)
+	}
+	if out != nil {
+		out.Register(fs, "write results here")
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTelemetryDefaultsProduceNoOptions(t *testing.T) {
+	var tel Telemetry
+	parse(t, &tel, nil)
+	if tel.TraceCap != telemetry.DefaultCapacity || tel.Epoch != 100_000 {
+		t.Fatalf("defaults wrong: %+v", tel)
+	}
+	if opts := tel.Options(); len(opts) != 0 {
+		t.Fatalf("zero-value flags produced %d options", len(opts))
+	}
+}
+
+func TestTelemetryOptionsWireObservers(t *testing.T) {
+	dir := t.TempDir()
+	var tel Telemetry
+	parse(t, &tel, nil,
+		"-trace", filepath.Join(dir, "trace.json"),
+		"-tracecap", "512",
+		"-timeseries", filepath.Join(dir, "ts.csv"),
+		"-epoch", "5000")
+
+	cfg := config.Scaled(1, config.DBI)
+	cfg.WarmupInstructions = 5_000
+	cfg.MeasureInstructions = 10_000
+	sys, err := system.New(cfg, []string{"stream"}, 42, tel.Options()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Tracer() == nil || sys.Sampler() == nil {
+		t.Fatal("options did not attach tracer and sampler")
+	}
+	sys.Run()
+
+	var log bytes.Buffer
+	if err := tel.WriteArtifacts(sys, "test", &log); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{tel.TracePath, tel.TimeSeriesPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty (err=%v)", p, err)
+		}
+	}
+	if !strings.Contains(log.String(), "test: ") {
+		t.Fatalf("artifact log lines missing prefix: %q", log.String())
+	}
+}
+
+func TestOutputWrite(t *testing.T) {
+	var out Output
+	parse(t, nil, &out, "-json", filepath.Join(t.TempDir(), "r.json"))
+	if !out.Enabled() {
+		t.Fatal("Enabled false after -json")
+	}
+	if err := out.Write(map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(b, []byte("\n")) {
+		t.Fatal("output missing trailing newline")
+	}
+	var got map[string]int
+	if err := json.Unmarshal(b, &got); err != nil || got["a"] != 1 {
+		t.Fatalf("round-trip failed: %v %v", got, err)
+	}
+}
+
+func TestOutputDisabledByDefault(t *testing.T) {
+	var out Output
+	parse(t, nil, &out)
+	if out.Enabled() {
+		t.Fatal("Enabled true with no -json flag")
+	}
+}

@@ -71,12 +71,22 @@ type Core struct {
 	startCycle event.Cycle
 	doneCycle  event.Cycle
 
+	// Prebound callbacks and the load-slot free list keep the per-
+	// instruction issue loop allocation-free: the advance event after
+	// every instruction and the completion callback of every load reuse
+	// the same function values instead of capturing loop state.
+	stepFn    event.Func
+	advanceFn event.Func
+	slotFree  *loadSlot
+
 	Stat Stats
 }
 
 type loadSlot struct {
 	seq  uint64
 	done bool
+	next *loadSlot
+	fn   event.Func // bound once: marks the slot done and resumes issue
 }
 
 // New builds a core with fresh private caches.
@@ -89,7 +99,7 @@ func New(eng *event.Engine, id int, cfg config.SystemConfig, gen trace.Generator
 	if err != nil {
 		return nil, fmt.Errorf("cpu: L2: %w", err)
 	}
-	return &Core{
+	c := &Core{
 		Eng:         eng,
 		ID:          id,
 		gen:         gen,
@@ -101,7 +111,37 @@ func New(eng *event.Engine, id int, cfg config.SystemConfig, gen trace.Generator
 		l1Latency:   event.Cycle(cfg.L1.AccessLatency()),
 		l2Latency:   event.Cycle(cfg.L1.AccessLatency() + cfg.L2.AccessLatency()),
 		outstanding: make(map[addr.BlockAddr][]func()),
-	}, nil
+	}
+	c.stepFn = c.step
+	c.advanceFn = func() {
+		if !c.stalled {
+			c.step()
+		}
+	}
+	return c, nil
+}
+
+// getSlot takes a load slot from the free list, allocating (and binding
+// its completion callback) only on first use.
+func (c *Core) getSlot() *loadSlot {
+	s := c.slotFree
+	if s == nil {
+		s = &loadSlot{}
+		s.fn = func() {
+			s.done = true
+			c.resume()
+		}
+	} else {
+		c.slotFree = s.next
+	}
+	s.next = nil
+	s.done = false
+	return s
+}
+
+func (c *Core) putSlot(s *loadSlot) {
+	s.next = c.slotFree
+	c.slotFree = s
 }
 
 // Start begins execution: the core will call onDone once after issuing
@@ -109,7 +149,7 @@ func New(eng *event.Engine, id int, cfg config.SystemConfig, gen trace.Generator
 // other cores) until Stop.
 func (c *Core) Start(budget uint64, onDone func()) {
 	c.Rebudget(budget, onDone)
-	c.Eng.ScheduleAfter(1, c.step)
+	c.Eng.After(1, c.stepFn)
 }
 
 // Rebudget opens a new measurement window without restarting the issue
@@ -225,27 +265,23 @@ func (c *Core) issue(rec trace.Record, cost uint64) {
 	b := c.geo.BlockOf(rec.Addr)
 	if rec.Kind == trace.Load {
 		c.Stat.Loads.Inc()
-		slot := &loadSlot{seq: c.issued}
+		slot := c.getSlot()
+		slot.seq = c.issued
 		c.inflight = append(c.inflight, slot)
-		c.load(b, func() {
-			slot.done = true
-			c.resume()
-		})
+		c.load(b, slot.fn)
 	} else {
 		c.Stat.Stores.Inc()
 		c.store(b)
 	}
-	c.Eng.ScheduleAfter(event.Cycle(cost), func() {
-		if !c.stalled {
-			c.step()
-		}
-	})
+	c.Eng.After(event.Cycle(cost), c.advanceFn)
 }
 
-// reapLoads drops completed loads from the head of the window.
+// reapLoads drops completed loads from the head of the window, returning
+// their slots to the free list (safe: a done slot's callback has fired).
 func (c *Core) reapLoads() {
 	i := 0
 	for i < len(c.inflight) && c.inflight[i].done {
+		c.putSlot(c.inflight[i])
 		i++
 	}
 	if i > 0 {
@@ -257,13 +293,13 @@ func (c *Core) reapLoads() {
 func (c *Core) load(b addr.BlockAddr, done func()) {
 	if c.l1.Access(b, 0) {
 		c.Stat.L1Hits.Inc()
-		c.Eng.ScheduleAfter(c.l1Latency, done)
+		c.Eng.After(c.l1Latency, done)
 		return
 	}
 	if c.l2.Access(b, 0) {
 		c.Stat.L2Hits.Inc()
 		c.fillL1(b, false)
-		c.Eng.ScheduleAfter(c.l2Latency, done)
+		c.Eng.After(c.l2Latency, done)
 		return
 	}
 	c.fetchShared(b, func() {

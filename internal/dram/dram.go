@@ -82,6 +82,70 @@ type Controller struct {
 	drainBurst int // writes issued by the in-progress drain episode
 	busFreeAt  event.Cycle
 	kickAt     event.Cycle // pending wakeup, 0 = none
+
+	// Prebound callbacks and the transaction free list keep the bank
+	// service loop allocation-free: issuing, waking and refreshing reuse
+	// the same function values and pooled txn records run after run.
+	wakeFn    event.Func
+	refreshFn event.Func
+	txnFree   *txn
+}
+
+// txn is a pooled in-flight transaction: its completion callbacks are
+// bound once at allocation, so issuing a transaction schedules on the
+// engine without allocating a closure per event.
+type txn struct {
+	c       *Controller
+	r       request
+	isWrite bool
+	next    *txn
+	burstFn event.Func
+	dataFn  event.Func
+}
+
+func (c *Controller) getTxn() *txn {
+	t := c.txnFree
+	if t == nil {
+		t = &txn{c: c}
+		t.burstFn = t.burstDone
+		t.dataFn = t.dataDone
+	} else {
+		c.txnFree = t.next
+	}
+	return t
+}
+
+func (c *Controller) putTxn(t *txn) {
+	t.r = request{}
+	t.next = c.txnFree
+	c.txnFree = t
+}
+
+// burstDone runs when the transaction's data burst completes on the bus.
+func (t *txn) burstDone() {
+	c := t.c
+	c.inflight--
+	if t.isWrite {
+		c.Stat.Writes.Inc()
+		c.putTxn(t)
+		c.kick()
+		return
+	}
+	c.Stat.Reads.Inc()
+	c.kick()
+	// Data reaches the requester TCAS after the burst completes.
+	c.Eng.After(event.Cycle(c.Prm.TCAS), t.dataFn)
+}
+
+// dataDone delivers read data to the requester.
+func (t *txn) dataDone() {
+	c := t.c
+	c.Stat.ReadLatencySum.Add(uint64(c.Eng.Now() - t.r.enqueued))
+	done := t.r.done
+	c.putTxn(t)
+	if done != nil {
+		done()
+	}
 }
 
 // New builds a controller. The geometry's bank count must match the DRAM
@@ -97,16 +161,15 @@ func New(eng *event.Engine, geo addr.Geometry, p config.DRAMParams) (*Controller
 		banks: make([]bankState, p.Banks),
 	}
 	c.Stat.DrainBurst = stats.NewHistogram(2 * p.WriteBufferEntries)
-	if p.RefreshInterval > 0 {
-		c.scheduleRefresh()
+	c.wakeFn = func() {
+		if c.kickAt == c.Eng.Now() {
+			c.kickAt = 0
+		}
+		c.kick()
 	}
-	return c, nil
-}
-
-// scheduleRefresh arms the periodic auto-refresh: all banks close and
-// stay busy for RefreshLatency cycles every RefreshInterval cycles.
-func (c *Controller) scheduleRefresh() {
-	c.Eng.ScheduleAfter(event.Cycle(c.Prm.RefreshInterval), func() {
+	// refresh: all banks close and stay busy for RefreshLatency cycles
+	// every RefreshInterval cycles.
+	c.refreshFn = func() {
 		c.Stat.Refreshes.Inc()
 		until := c.Eng.Now() + event.Cycle(c.Prm.RefreshLatency)
 		for i := range c.banks {
@@ -118,8 +181,12 @@ func (c *Controller) scheduleRefresh() {
 		if c.busFreeAt < until {
 			c.busFreeAt = until
 		}
-		c.scheduleRefresh()
-	})
+		c.Eng.After(event.Cycle(c.Prm.RefreshInterval), c.refreshFn)
+	}
+	if p.RefreshInterval > 0 {
+		c.Eng.After(event.Cycle(c.Prm.RefreshInterval), c.refreshFn)
+	}
+	return c, nil
 }
 
 // Read enqueues a demand read for a block; done fires when data arrives.
@@ -130,7 +197,7 @@ func (c *Controller) Read(b addr.BlockAddr, done func()) {
 		if w.block == b {
 			c.Stat.WriteBufHits.Inc()
 			// Forwarding costs roughly a burst on the internal datapath.
-			c.Eng.ScheduleAfter(event.Cycle(c.Prm.TBurst), done)
+			c.Eng.After(event.Cycle(c.Prm.TBurst), done)
 			return
 		}
 	}
@@ -196,18 +263,16 @@ func (c *Controller) kick() {
 	}
 }
 
-// wakeAt schedules a future kick, collapsing duplicates.
+// wakeAt schedules a future kick, collapsing duplicates. The prebound
+// wakeFn compares kickAt against the engine clock at fire time, which is
+// exactly the cycle this call passed — so a stale wake (kickAt since
+// re-armed earlier) leaves kickAt alone and still kicks, same as before.
 func (c *Controller) wakeAt(at event.Cycle) {
 	if c.kickAt != 0 && c.kickAt <= at {
 		return
 	}
 	c.kickAt = at
-	c.Eng.Schedule(at, func() {
-		if c.kickAt == at {
-			c.kickAt = 0
-		}
-		c.kick()
-	})
+	c.Eng.At(at, c.wakeFn)
 }
 
 // selectQueue applies the phase policy: drain writes when the buffer
@@ -292,23 +357,9 @@ func (c *Controller) issue(r request, isWrite bool) {
 	}
 
 	c.inflight++
-	c.Eng.Schedule(done, func() {
-		c.inflight--
-		if isWrite {
-			c.Stat.Writes.Inc()
-			c.kick()
-			return
-		}
-		c.Stat.Reads.Inc()
-		c.kick()
-		// Data reaches the requester TCAS after the burst completes.
-		c.Eng.ScheduleAfter(event.Cycle(c.Prm.TCAS), func() {
-			c.Stat.ReadLatencySum.Add(uint64(c.Eng.Now() - r.enqueued))
-			if r.done != nil {
-				r.done()
-			}
-		})
-	})
+	t := c.getTxn()
+	t.r, t.isWrite = r, isWrite
+	c.Eng.At(done, t.burstFn)
 }
 
 // prepTime returns the bank-preparation time implied by the row state and

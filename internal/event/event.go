@@ -2,15 +2,39 @@
 // that drives every timed component in the simulator (cores, caches, the
 // DBI, the memory controller).
 //
-// The engine maintains a virtual clock measured in CPU cycles and a
-// priority queue of scheduled callbacks. Events scheduled for the same
-// cycle fire in the order they were scheduled, which makes simulations
-// fully deterministic and therefore reproducible.
+// The engine maintains a virtual clock measured in CPU cycles and fires
+// scheduled callbacks from a hierarchical timing wheel (see wheel layout
+// below). Events are scheduled with At (absolute cycle) or After (relative
+// delta); both return a Handle that can cancel the event before it fires.
+//
+// # Determinism contract
+//
+// Events fire in strictly non-decreasing cycle order, and events scheduled
+// for the same cycle fire in the exact order they were scheduled
+// (same-cycle FIFO). This total order — (cycle, schedule sequence) — is
+// the contract every component relies on for reproducible simulations:
+// two runs with the same configuration and seed produce bit-identical
+// results. Internally each event carries a monotonically increasing
+// sequence number; whatever path an event takes through the wheel
+// (direct placement, cascade from an outer level, overflow spill), the
+// engine restores the (cycle, sequence) order before firing.
+//
+// # Wheel layout
+//
+// The wheel has three levels of 256 slots each, covering the next 2^24
+// cycles relative to an internal 256-aligned base cursor. Level 0 slots
+// hold exactly one cycle; level-k slots hold 256^k cycles. An event lands
+// in the innermost level whose window contains it; events beyond the
+// 2^24 horizon go to a sorted far-future overflow list and re-enter the
+// wheel when the cursor reaches their window. Slot occupancy is tracked
+// in per-level bitmaps so finding the next event is a couple of
+// trailing-zero scans. Event records come from an internal free list, so
+// steady-state scheduling performs zero heap allocations.
 package event
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Cycle is a point in simulated time, in CPU clock cycles.
@@ -19,30 +43,76 @@ type Cycle uint64
 // Func is a callback fired when its scheduled cycle is reached.
 type Func func()
 
-type item struct {
-	at  Cycle
-	seq uint64
-	fn  Func
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits // 256
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 3
+	wheelWords  = wheelSlots / 64
+	arenaChunk  = 256
+)
+
+// record is one scheduled event. Records are pooled: after an event fires
+// or a canceled record is swept out, the record returns to the engine's
+// free list with its generation bumped so stale Handles become inert.
+type record struct {
+	at       Cycle
+	seq      uint64
+	gen      uint64
+	fn       Func
+	next     *record
+	canceled bool
 }
 
-type queue []*item
+// Handle identifies a scheduled event. The zero Handle is valid and inert.
+type Handle struct {
+	e   *Engine
+	r   *record
+	gen uint64
+}
 
-func (q queue) Len() int { return len(q) }
-func (q queue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Cancel prevents the event from firing. It reports whether the event was
+// still pending: canceling an event that already fired (or was already
+// canceled) is a no-op returning false.
+func (h Handle) Cancel() bool {
+	if h.r == nil || h.r.gen != h.gen || h.r.canceled {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	h.r.canceled = true
+	h.e.pending--
+	return true
 }
-func (q queue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *queue) Push(x any)   { *q = append(*q, x.(*item)) }
-func (q *queue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
+
+// Active reports whether the event is still pending (not fired, not
+// canceled).
+func (h Handle) Active() bool {
+	return h.r != nil && h.r.gen == h.gen && !h.r.canceled
+}
+
+// bucket is an intrusive FIFO list of records sharing a wheel slot.
+// lastSeq/unsorted implement the same-cycle FIFO guarantee cheaply: an
+// append below the previous append's sequence flags the bucket, and a
+// flagged level-0 bucket (which always holds a single cycle) is re-sorted
+// by sequence once, at fire time. Unflagged buckets are provably already
+// in order, so the common path never sorts.
+type bucket struct {
+	head, tail *record
+	lastSeq    uint64
+	unsorted   bool
+}
+
+func (b *bucket) append(r *record) {
+	r.next = nil
+	if b.tail == nil {
+		b.head, b.tail = r, r
+	} else {
+		if r.seq < b.lastSeq {
+			b.unsorted = true
+		}
+		b.tail.next = r
+		b.tail = r
+	}
+	b.lastSeq = r.seq
 }
 
 // Engine is a deterministic discrete-event simulator clock.
@@ -50,9 +120,24 @@ func (q *queue) Pop() any {
 type Engine struct {
 	now     Cycle
 	seq     uint64
-	q       queue
 	fired   uint64
+	pending int
 	stopped bool
+
+	// wheelBase is the 256-aligned cursor the wheel windows derive from.
+	// Invariant: every record stored in the wheel or overflow has
+	// at >= wheelBase; records scheduled behind the cursor (possible
+	// after a cascade advanced it past now) go to the sorted front list,
+	// which pop drains first.
+	wheelBase Cycle
+	wheel     [wheelLevels][wheelSlots]bucket
+	occ       [wheelLevels][wheelWords]uint64
+
+	front    []*record // at < wheelBase, sorted by (at, seq)
+	overflow []*record // beyond the wheel horizon, sorted by (at, seq)
+
+	free    *record   // recycled event records
+	scratch []*record // reusable buffer for re-sorting flagged buckets
 }
 
 // Now returns the current simulated cycle.
@@ -61,61 +146,324 @@ func (e *Engine) Now() Cycle { return e.now }
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are waiting in the queue.
-func (e *Engine) Pending() int { return len(e.q) }
+// Pending reports how many events are waiting to fire.
+func (e *Engine) Pending() int { return e.pending }
 
-// Schedule registers fn to run at absolute cycle at. Scheduling in the
-// past (at < Now) panics: it is always a component bug, and silently
-// reordering time would corrupt the simulation.
-func (e *Engine) Schedule(at Cycle, fn Func) {
+// At registers fn to run at absolute cycle at and returns a Handle that
+// can cancel it. Scheduling in the past (at < Now) panics: it is always a
+// component bug, and silently reordering time would corrupt the
+// simulation.
+func (e *Engine) At(at Cycle, fn Func) Handle {
 	if fn == nil {
-		panic("event: Schedule called with nil callback")
+		panic("event: At called with nil callback")
 	}
 	if at < e.now {
 		panic(fmt.Sprintf("event: scheduling at cycle %d in the past (now %d)", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.q, &item{at: at, seq: e.seq, fn: fn})
+	r := e.newRecord()
+	r.at, r.seq, r.fn = at, e.seq, fn
+	e.pending++
+	e.place(r)
+	return Handle{e: e, r: r, gen: r.gen}
 }
 
+// After registers fn to run delta cycles from now and returns a Handle
+// that can cancel it.
+func (e *Engine) After(delta Cycle, fn Func) Handle {
+	return e.At(e.now+delta, fn)
+}
+
+// Schedule registers fn to run at absolute cycle at.
+//
+// Deprecated: use At, which additionally returns a cancelable Handle.
+func (e *Engine) Schedule(at Cycle, fn Func) { e.At(at, fn) }
+
 // ScheduleAfter registers fn to run delta cycles from now.
-func (e *Engine) ScheduleAfter(delta Cycle, fn Func) {
-	e.Schedule(e.now+delta, fn)
+//
+// Deprecated: use After, which additionally returns a cancelable Handle.
+func (e *Engine) ScheduleAfter(delta Cycle, fn Func) { e.After(delta, fn) }
+
+func (e *Engine) newRecord() *record {
+	r := e.free
+	if r == nil {
+		chunk := make([]record, arenaChunk)
+		for i := range chunk[:len(chunk)-1] {
+			chunk[i].next = &chunk[i+1]
+		}
+		r = &chunk[0]
+	}
+	e.free = r.next
+	r.next = nil
+	return r
+}
+
+func (e *Engine) recycle(r *record) {
+	r.fn = nil
+	r.canceled = false
+	r.gen++
+	r.next = e.free
+	e.free = r
+}
+
+// place routes a record to the front list, a wheel slot, or the overflow.
+func (e *Engine) place(r *record) {
+	if r.at < e.wheelBase {
+		e.front = insertSorted(e.front, r)
+		return
+	}
+	e.placeWheel(r)
+}
+
+// placeWheel stores a record with at >= wheelBase into the innermost
+// wheel level whose aligned window contains it, or the overflow list.
+func (e *Engine) placeWheel(r *record) {
+	base := e.wheelBase
+	switch {
+	case r.at>>wheelBits == base>>wheelBits:
+		e.push(0, int(r.at&wheelMask), r)
+	case r.at>>(2*wheelBits) == base>>(2*wheelBits):
+		e.push(1, int(r.at>>wheelBits)&wheelMask, r)
+	case r.at>>(3*wheelBits) == base>>(3*wheelBits):
+		e.push(2, int(r.at>>(2*wheelBits))&wheelMask, r)
+	default:
+		e.overflow = insertSorted(e.overflow, r)
+	}
+}
+
+func (e *Engine) push(level, slot int, r *record) {
+	e.wheel[level][slot].append(r)
+	e.occ[level][slot>>6] |= 1 << (uint(slot) & 63)
+}
+
+func recordLess(a, b *record) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// insertSorted inserts r into s keeping (at, seq) order, via binary
+// search. Front and overflow lists are short in practice (front only
+// exists after cascades outran the clock; overflow holds coarse far-out
+// events like telemetry epochs), so the copy is cheap and the slice
+// capacity is reused across the run.
+func insertSorted(s []*record, r *record) []*record {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if recordLess(s[mid], r) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, nil)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = r
+	return s
+}
+
+// firstOccupied returns the lowest occupied slot index at the given
+// level, or -1.
+func (e *Engine) firstOccupied(level int) int {
+	for w, word := range &e.occ[level] {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+// pop removes and returns the earliest live record, sweeping out canceled
+// ones, or returns nil when nothing is pending.
+func (e *Engine) pop() *record {
+	for {
+		r := e.popAny()
+		if r == nil {
+			return nil
+		}
+		if r.canceled {
+			e.recycle(r)
+			continue
+		}
+		return r
+	}
+}
+
+// popAny removes the earliest record (canceled or not), cascading outer
+// wheel levels and the overflow list inward as needed. The strict level
+// ordering (every front record < every level-0 record < every level-1
+// record < ... < every overflow record) follows from the aligned-window
+// placement rule, so consulting the structures in that order yields the
+// global (at, seq) minimum.
+func (e *Engine) popAny() *record {
+	for {
+		if n := len(e.front); n > 0 {
+			r := e.front[0]
+			copy(e.front, e.front[1:])
+			e.front[n-1] = nil
+			e.front = e.front[:n-1]
+			return r
+		}
+		if slot := e.firstOccupied(0); slot >= 0 {
+			return e.takeHead(slot)
+		}
+		if slot := e.firstOccupied(1); slot >= 0 {
+			e.wheelBase = e.wheelBase&^(1<<(2*wheelBits)-1) | Cycle(slot)<<wheelBits
+			e.cascade(1, slot)
+			continue
+		}
+		if slot := e.firstOccupied(2); slot >= 0 {
+			e.wheelBase = e.wheelBase&^(1<<(3*wheelBits)-1) | Cycle(slot)<<(2*wheelBits)
+			e.cascade(2, slot)
+			continue
+		}
+		if len(e.overflow) > 0 {
+			e.refill()
+			continue
+		}
+		return nil
+	}
+}
+
+// cascade drains a level-1 or level-2 slot and re-places its records
+// against the just-advanced wheelBase; they land in inner (more precise)
+// levels, which are empty at this point, so list order — already
+// per-cycle FIFO — is preserved.
+func (e *Engine) cascade(level, slot int) {
+	b := &e.wheel[level][slot]
+	r := b.head
+	b.head, b.tail, b.lastSeq, b.unsorted = nil, nil, 0, false
+	e.occ[level][slot>>6] &^= 1 << (uint(slot) & 63)
+	for r != nil {
+		next := r.next
+		e.placeWheel(r)
+		r = next
+	}
+}
+
+// refill advances wheelBase to the first overflow record's window and
+// moves every overflow record sharing that top-level window into the
+// (entirely empty) wheel.
+func (e *Engine) refill() {
+	top := e.overflow[0].at >> (wheelLevels * wheelBits)
+	e.wheelBase = e.overflow[0].at &^ wheelMask
+	n := 0
+	for n < len(e.overflow) && e.overflow[n].at>>(wheelLevels*wheelBits) == top {
+		n++
+	}
+	for _, r := range e.overflow[:n] {
+		e.placeWheel(r)
+	}
+	m := copy(e.overflow, e.overflow[n:])
+	for i := m; i < len(e.overflow); i++ {
+		e.overflow[i] = nil
+	}
+	e.overflow = e.overflow[:m]
+}
+
+// takeHead pops the head of a level-0 slot, re-sorting the bucket by
+// sequence first if appends arrived out of order (level-0 buckets hold a
+// single cycle, so sequence order is the full FIFO order).
+func (e *Engine) takeHead(slot int) *record {
+	b := &e.wheel[0][slot]
+	if b.unsorted {
+		e.sortBucket(b)
+	}
+	r := b.head
+	b.head = r.next
+	if b.head == nil {
+		b.tail = nil
+		b.lastSeq = 0
+		e.occ[0][slot>>6] &^= 1 << (uint(slot) & 63)
+	}
+	r.next = nil
+	return r
+}
+
+func (e *Engine) sortBucket(b *bucket) {
+	s := e.scratch[:0]
+	for r := b.head; r != nil; r = r.next {
+		s = append(s, r)
+	}
+	// Insertion sort: flagged buckets are rare and nearly sorted.
+	for i := 1; i < len(s); i++ {
+		r := s[i]
+		j := i - 1
+		for j >= 0 && s[j].seq > r.seq {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = r
+	}
+	for i := 0; i < len(s)-1; i++ {
+		s[i].next = s[i+1]
+	}
+	last := s[len(s)-1]
+	last.next = nil
+	b.head, b.tail = s[0], last
+	b.lastSeq = last.seq
+	b.unsorted = false
+	e.scratch = s
+}
+
+// fire advances the clock to the record's cycle and runs its callback.
+// The record is recycled before the callback runs, so a callback that
+// immediately reschedules (the typical chained-event pattern) reuses the
+// very record that just fired — zero allocations in steady state.
+func (e *Engine) fire(r *record) {
+	e.now = r.at
+	e.fired++
+	e.pending--
+	fn := r.fn
+	e.recycle(r)
+	fn()
 }
 
 // Step executes the single earliest pending event, advancing the clock to
 // its cycle. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.q) == 0 {
+	r := e.pop()
+	if r == nil {
 		return false
 	}
-	it := heap.Pop(&e.q).(*item)
-	e.now = it.at
-	e.fired++
-	it.fn()
+	e.fire(r)
 	return true
 }
 
-// RunUntil executes events until the queue is empty or the next event is
+// RunUntil executes events until none are pending or the next event is
 // scheduled after the limit cycle. The clock never advances past limit.
 func (e *Engine) RunUntil(limit Cycle) {
 	e.stopped = false
-	for len(e.q) > 0 && !e.stopped {
-		if e.q[0].at > limit {
+	for !e.stopped {
+		r := e.pop()
+		if r == nil {
 			break
 		}
-		e.Step()
+		if r.at > limit {
+			// Put it back: it fires on a later run. Re-placing may
+			// append behind same-cycle records with higher sequence
+			// numbers; the bucket sort flag restores FIFO order then.
+			e.place(r)
+			break
+		}
+		e.fire(r)
 	}
 	if e.now < limit && !e.stopped {
 		e.now = limit
 	}
 }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until none are pending or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.q) > 0 && !e.stopped {
-		e.Step()
+	for !e.stopped {
+		r := e.pop()
+		if r == nil {
+			return
+		}
+		e.fire(r)
 	}
 }
 
@@ -130,7 +478,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // rescheduling happens before fn, fn may inspect but must not mutate
 // simulation state if the run's results are to stay unperturbed.
 //
-// Note that a live periodic event keeps the queue non-empty, so Run
+// Note that a live periodic event keeps the engine non-empty, so Run
 // only returns via Stop while one is active; cancel before relying on
 // queue drain.
 func (e *Engine) Every(period Cycle, fn Func) (cancel func()) {
@@ -143,10 +491,10 @@ func (e *Engine) Every(period Cycle, fn Func) (cancel func()) {
 		if !active {
 			return
 		}
-		e.ScheduleAfter(period, tick)
+		e.After(period, tick)
 		fn()
 	}
-	e.ScheduleAfter(period, tick)
+	e.After(period, tick)
 	return func() { active = false }
 }
 
@@ -159,6 +507,7 @@ type Ticker struct {
 	Period Cycle
 	Tick   Func
 	armed  bool
+	tickFn Func // bound once so re-arming never allocates
 }
 
 // Arm starts the ticker if it is not already running. The first tick
@@ -170,8 +519,11 @@ func (t *Ticker) Arm() {
 	if t.Period == 0 {
 		panic("event: Ticker with zero period")
 	}
+	if t.tickFn == nil {
+		t.tickFn = t.tick
+	}
 	t.armed = true
-	t.Engine.ScheduleAfter(t.Period, t.tick)
+	t.Engine.After(t.Period, t.tickFn)
 }
 
 // Armed reports whether the ticker is currently scheduled.

@@ -22,7 +22,7 @@ type FlushResult struct {
 // nullMem is a zero-latency memory for the flush micro-experiment.
 type nullMem struct{ eng *event.Engine }
 
-func (m nullMem) Read(b addr.BlockAddr, done func()) { m.eng.ScheduleAfter(1, done) }
+func (m nullMem) Read(b addr.BlockAddr, done func()) { m.eng.After(1, done) }
 func (m nullMem) Write(b addr.BlockAddr)             {}
 
 // Flush measures the latency of writing back a fixed dirty population

@@ -50,13 +50,13 @@ func (l *LLC) EnableEagerWriteback(cfg EagerConfig) bool {
 	}
 	var tick func()
 	tick = func() {
-		l.Eng.ScheduleAfter(cfg.Interval, tick)
+		l.Eng.After(cfg.Interval, tick)
 		if mq.WriteQueueLen() >= cfg.LowWater {
 			return
 		}
 		l.pumpEager()
 	}
-	l.Eng.ScheduleAfter(cfg.Interval, tick)
+	l.Eng.After(cfg.Interval, tick)
 	return true
 }
 

@@ -76,7 +76,7 @@ func (l *LLC) flushViaDBI(start event.Cycle, done func(int, event.Cycle)) {
 		b := blocks[i]
 		i++
 		// DBI entry read + tag access for the block's data.
-		l.Eng.ScheduleAfter(l.dbiLatency(), func() {
+		l.Eng.After(l.dbiLatency(), func() {
 			l.Port.Submit(true, l.tagLatency(), func() {
 				l.Cache.Stats.TagLookups.Inc()
 				if l.Cache.Contains(b) {

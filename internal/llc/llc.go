@@ -99,7 +99,60 @@ type LLC struct {
 	nextScanAt event.Cycle // earliest start for the next paced lookup
 	scanWake   bool        // a delayed pumpScan is scheduled
 
+	// In-flight scan lookup state plus prebound callbacks and the
+	// tag-request free list: the lookup, writeback and scan paths reuse
+	// the same function values and pooled records instead of allocating
+	// a closure per tag-store operation. Only one scan lookup is in
+	// flight at a time (scanning), so a single field pair carries its
+	// state.
+	curScanBlock addr.BlockAddr
+	curScanVisit func(addr.BlockAddr)
+	scanDoneFn   event.Func
+	scanWakeFn   event.Func
+	tagFree      *tagReq
+
+	// Prebound harvest visitors (each captures only the LLC).
+	dbiEvictVisit func(addr.BlockAddr)
+	dawbVisit     func(addr.BlockAddr)
+	vwqVisit      func(addr.BlockAddr)
+	awbVisit      func(addr.BlockAddr)
+
 	Stat Stats
+}
+
+// tagReq is a pooled tag-store request: one record carries a demand
+// read (possibly via the CLB's DBI check first) or a writeback through
+// the contended port, with its callbacks bound once at allocation.
+type tagReq struct {
+	l      *LLC
+	b      addr.BlockAddr
+	thread int
+	done   func()
+	start  event.Cycle
+	next   *tagReq
+	clbFn  event.Func // DBI dirty check before a predicted-miss bypass
+	readFn event.Func // demand tag-lookup port callback
+	wbFn   event.Func // writeback port callback
+}
+
+func (l *LLC) getReq(b addr.BlockAddr, thread int, done func()) *tagReq {
+	rr := l.tagFree
+	if rr == nil {
+		rr = &tagReq{l: l}
+		rr.clbFn = rr.clbCheck
+		rr.readFn = rr.lookupDone
+		rr.wbFn = rr.writebackDone
+	} else {
+		l.tagFree = rr.next
+	}
+	rr.b, rr.thread, rr.done = b, thread, done
+	return rr
+}
+
+func (l *LLC) putReq(rr *tagReq) {
+	rr.done = nil
+	rr.next = l.tagFree
+	l.tagFree = rr
 }
 
 // scanQueueCap bounds the number of queued harvest rows.
@@ -155,7 +208,56 @@ func New(eng *event.Engine, geo addr.Geometry, c Config) (*LLC, error) {
 		}
 		l.Pred = p
 	}
+	l.bindCallbacks()
 	return l, nil
+}
+
+// bindCallbacks creates, once, the function values the hot paths reuse.
+func (l *LLC) bindCallbacks() {
+	l.scanDoneFn = func() {
+		l.scanning = false
+		visit, b := l.curScanVisit, l.curScanBlock
+		l.curScanVisit = nil
+		visit(b)
+		l.pumpScan()
+	}
+	l.scanWakeFn = func() {
+		l.scanWake = false
+		l.pumpScan()
+	}
+	l.dbiEvictVisit = func(blk addr.BlockAddr) {
+		l.Stat.FillerLookups.Inc()
+		if _, hit := l.Cache.Lookup(blk); hit {
+			l.Stat.DBIEvictionWBs.Inc()
+			l.mem.Write(blk)
+		}
+	}
+	l.dawbVisit = func(mate addr.BlockAddr) {
+		l.Stat.FillerLookups.Inc()
+		if _, hit := l.Cache.Lookup(mate); hit && l.Cache.IsDirty(mate) {
+			l.Cache.SetDirty(mate, false)
+			l.Stat.ProactiveWBs.Inc()
+			l.mem.Write(mate)
+		}
+	}
+	l.vwqVisit = func(mate addr.BlockAddr) {
+		l.Stat.FillerLookups.Inc()
+		way, hit := l.Cache.Lookup(mate)
+		if hit && l.Cache.IsDirty(mate) &&
+			l.Cache.RankOf(l.Cache.SetOf(mate), way) < l.vwqDepth {
+			l.Cache.SetDirty(mate, false)
+			l.Stat.ProactiveWBs.Inc()
+			l.mem.Write(mate)
+		}
+	}
+	l.awbVisit = func(mate addr.BlockAddr) {
+		l.Stat.FillerLookups.Inc()
+		if _, hit := l.Cache.Lookup(mate); hit && l.DBI.IsDirty(mate) {
+			l.DBI.ClearDirty(mate)
+			l.Stat.ProactiveWBs.Inc()
+			l.mem.Write(mate)
+		}
+	}
 }
 
 // tagLatency is the port occupancy of one tag lookup.
@@ -189,17 +291,25 @@ func (l *LLC) Read(b addr.BlockAddr, thread int, done func()) {
 		// DBI+CLB: the bypass is safe only if the block is not dirty.
 		// The DBI answers in a few cycles, far cheaper than the tag
 		// store (Figure 4).
-		l.Eng.ScheduleAfter(l.dbiLatency(), func() {
-			if l.DBI.IsDirty(b) {
-				l.Stat.BypassDirty.Inc()
-				l.lookupRead(b, thread, done)
-				return
-			}
-			l.bypass(b, done)
-		})
+		rr := l.getReq(b, thread, done)
+		l.Eng.After(l.dbiLatency(), rr.clbFn)
 		return
 	}
 	l.lookupRead(b, thread, done)
+}
+
+// clbCheck resolves a predicted-miss read once the DBI answered: dirty
+// blocks fall back to the tag lookup, clean ones bypass to memory.
+func (rr *tagReq) clbCheck() {
+	l := rr.l
+	b, thread, done := rr.b, rr.thread, rr.done
+	l.putReq(rr)
+	if l.DBI.IsDirty(b) {
+		l.Stat.BypassDirty.Inc()
+		l.lookupRead(b, thread, done)
+		return
+	}
+	l.bypass(b, done)
 }
 
 // bypass forwards a read to memory without touching the tag store.
@@ -213,23 +323,31 @@ func (l *LLC) bypass(b addr.BlockAddr, done func()) {
 
 // lookupRead performs the demand tag lookup and the hit/miss handling.
 func (l *LLC) lookupRead(b addr.BlockAddr, thread int, done func()) {
-	set := l.Cache.SetOf(b)
-	start := l.Eng.Now()
-	l.Port.Submit(false, l.tagLatency(), func() {
-		// Span covers queueing for the contended port plus occupancy.
-		l.Trc.Complete("llc", "tag_lookup", telemetry.TIDLLC, uint64(start), uint64(l.Eng.Now()), uint64(b))
-		hit := l.Cache.Access(b, thread)
-		if l.Pred != nil {
-			l.Pred.Observe(thread, set, hit, l.Eng.Now())
-		}
-		if hit {
-			l.Stat.ReadHits.Inc()
-			l.Eng.ScheduleAfter(l.dataLatency(), done)
-			return
-		}
-		l.Stat.ReadMisses.Inc()
-		l.fetch(b, done, true, thread)
-	})
+	rr := l.getReq(b, thread, done)
+	rr.start = l.Eng.Now()
+	l.Port.Submit(false, l.tagLatency(), rr.readFn)
+}
+
+// lookupDone runs when the demand lookup wins and finishes on the port.
+// The record releases before the downstream work (which may submit new
+// lookups that reuse it); everything needed is copied out first.
+func (rr *tagReq) lookupDone() {
+	l := rr.l
+	b, thread, done, start := rr.b, rr.thread, rr.done, rr.start
+	l.putReq(rr)
+	// Span covers queueing for the contended port plus occupancy.
+	l.Trc.Complete("llc", "tag_lookup", telemetry.TIDLLC, uint64(start), uint64(l.Eng.Now()), uint64(b))
+	hit := l.Cache.Access(b, thread)
+	if l.Pred != nil {
+		l.Pred.Observe(thread, l.Cache.SetOf(b), hit, l.Eng.Now())
+	}
+	if hit {
+		l.Stat.ReadHits.Inc()
+		l.Eng.After(l.dataLatency(), done)
+		return
+	}
+	l.Stat.ReadMisses.Inc()
+	l.fetch(b, done, true, thread)
 }
 
 // fetch issues the memory read (with MSHR merging) and optionally
@@ -273,31 +391,39 @@ func (l *LLC) fill(b addr.BlockAddr, thread int) {
 // in the tag entry or the DBI depending on the mechanism.
 func (l *LLC) Writeback(b addr.BlockAddr, thread int) {
 	l.Stat.WritebackReqs.Inc()
-	l.Port.Submit(false, l.tagLatency(), func() {
-		switch l.Mech {
-		case config.SkipCache:
-			// Write-through: update/allocate but never hold dirty data.
+	rr := l.getReq(b, thread, nil)
+	l.Port.Submit(false, l.tagLatency(), rr.wbFn)
+}
+
+// writebackDone installs the written-back block once its tag lookup
+// finishes on the port.
+func (rr *tagReq) writebackDone() {
+	l := rr.l
+	b, thread := rr.b, rr.thread
+	l.putReq(rr)
+	switch l.Mech {
+	case config.SkipCache:
+		// Write-through: update/allocate but never hold dirty data.
+		victim := l.Cache.Insert(b, thread, false)
+		if victim.Valid {
+			l.handleEviction(victim)
+		}
+		l.Stat.WriteThroughs.Inc()
+		l.mem.Write(b)
+	default:
+		if l.DBI != nil {
 			victim := l.Cache.Insert(b, thread, false)
 			if victim.Valid {
 				l.handleEviction(victim)
 			}
-			l.Stat.WriteThroughs.Inc()
-			l.mem.Write(b)
-		default:
-			if l.DBI != nil {
-				victim := l.Cache.Insert(b, thread, false)
-				if victim.Valid {
-					l.handleEviction(victim)
-				}
-				l.dbiSetDirty(b)
-			} else {
-				victim := l.Cache.Insert(b, thread, true)
-				if victim.Valid {
-					l.handleEviction(victim)
-				}
+			l.dbiSetDirty(b)
+		} else {
+			victim := l.Cache.Insert(b, thread, true)
+			if victim.Valid {
+				l.handleEviction(victim)
 			}
 		}
-	})
+	}
 }
 
 // dbiSetDirty marks a block dirty in the DBI and services any DBI
@@ -325,13 +451,7 @@ func (l *LLC) dbiSetDirty(b addr.BlockAddr) {
 	if !evicted {
 		return
 	}
-	l.enqueueScan(ev.Blocks, true, func(blk addr.BlockAddr) {
-		l.Stat.FillerLookups.Inc()
-		if _, hit := l.Cache.Lookup(blk); hit {
-			l.Stat.DBIEvictionWBs.Inc()
-			l.mem.Write(blk)
-		}
-	})
+	l.enqueueScan(ev.Blocks, true, l.dbiEvictVisit)
 }
 
 // enqueueScan adds a row's candidate blocks to the scan queue. must
@@ -378,24 +498,19 @@ func (l *LLC) pumpScan() {
 	now := l.Eng.Now()
 	if job.paced && now < l.nextScanAt {
 		l.scanWake = true
-		l.Eng.Schedule(l.nextScanAt, func() {
-			l.scanWake = false
-			l.pumpScan()
-		})
+		l.Eng.At(l.nextScanAt, l.scanWakeFn)
 		return
 	}
-	b := job.blocks[0]
-	visit := job.visit // by value: queue insertions may shift elements
+	// Copy the in-flight lookup's state out of the queue (insertions may
+	// shift elements) onto the LLC: only one scan is in flight at a time.
+	l.curScanBlock = job.blocks[0]
+	l.curScanVisit = job.visit
 	job.blocks = job.blocks[1:]
 	if job.paced {
 		l.nextScanAt = now + scanInterval
 	}
 	l.scanning = true
-	l.Port.Submit(true, l.tagLatency(), func() {
-		l.scanning = false
-		visit(b)
-		l.pumpScan()
-	})
+	l.Port.Submit(true, l.tagLatency(), l.scanDoneFn)
 }
 
 // handleEviction deals with a block displaced from the tag store
@@ -437,14 +552,7 @@ func (l *LLC) harvestDAWB(b addr.BlockAddr) {
 			mates = append(mates, mate)
 		}
 	}
-	l.enqueueScan(mates, false, func(mate addr.BlockAddr) {
-		l.Stat.FillerLookups.Inc()
-		if _, hit := l.Cache.Lookup(mate); hit && l.Cache.IsDirty(mate) {
-			l.Cache.SetDirty(mate, false)
-			l.Stat.ProactiveWBs.Inc()
-			l.mem.Write(mate)
-		}
-	})
+	l.enqueueScan(mates, false, l.dawbVisit)
 }
 
 // harvestVWQ implements the Virtual Write Queue [Stuecheli+, ISCA'10]:
@@ -464,16 +572,7 @@ func (l *LLC) harvestVWQ(b addr.BlockAddr) {
 			mates = append(mates, mate)
 		}
 	}
-	l.enqueueScan(mates, false, func(mate addr.BlockAddr) {
-		l.Stat.FillerLookups.Inc()
-		way, hit := l.Cache.Lookup(mate)
-		if hit && l.Cache.IsDirty(mate) &&
-			l.Cache.RankOf(l.Cache.SetOf(mate), way) < l.vwqDepth {
-			l.Cache.SetDirty(mate, false)
-			l.Stat.ProactiveWBs.Inc()
-			l.mem.Write(mate)
-		}
-	})
+	l.enqueueScan(mates, false, l.vwqVisit)
 }
 
 // harvestAWB implements the paper's aggressive writeback (Section 3.1):
@@ -491,14 +590,7 @@ func (l *LLC) harvestAWB(b addr.BlockAddr) {
 		// head for the write buffer together.
 		l.Trc.Instant("dbi", "awb_harvest", telemetry.TIDDBI, uint64(l.Eng.Now()), uint64(len(mates)))
 	}
-	l.enqueueScan(mates, false, func(mate addr.BlockAddr) {
-		l.Stat.FillerLookups.Inc()
-		if _, hit := l.Cache.Lookup(mate); hit && l.DBI.IsDirty(mate) {
-			l.DBI.ClearDirty(mate)
-			l.Stat.ProactiveWBs.Inc()
-			l.mem.Write(mate)
-		}
-	})
+	l.enqueueScan(mates, false, l.awbVisit)
 }
 
 // TagLookups reports total tag-store lookups (Figure 6c's numerator).

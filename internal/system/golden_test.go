@@ -1,0 +1,61 @@
+package system
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+
+	"dbisim/internal/config"
+)
+
+// TestGoldenResults replays the committed golden grid —
+// testdata/golden_results.json, captured from the seed checkout's
+// container/heap scheduler before the timing-wheel rewrite — and
+// asserts the current engine reproduces every cell's Results
+// bit-identically. This is the heap-vs-wheel identity guarantee in
+// executable form: any scheduler change that perturbs event order or
+// timing fails here first.
+func TestGoldenResults(t *testing.T) {
+	type cell struct {
+		Mech    string   `json:"mech"`
+		Benches []string `json:"benches"`
+		Seed    int64    `json:"seed"`
+		Warmup  uint64   `json:"warmup"`
+		Measure uint64   `json:"measure"`
+		Results Results  `json:"results"`
+	}
+	raw, err := os.ReadFile("testdata/golden_results.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []cell
+	if err := json.Unmarshal(raw, &cells); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("golden file holds no cells")
+	}
+	mechByName := map[string]config.Mechanism{}
+	for _, m := range config.AllMechanisms() {
+		mechByName[m.String()] = m
+	}
+	for _, c := range cells {
+		mech, ok := mechByName[c.Mech]
+		if !ok {
+			t.Fatalf("unknown mechanism %q in golden file", c.Mech)
+		}
+		cfg := config.Scaled(len(c.Benches), mech)
+		cfg.WarmupInstructions = c.Warmup
+		cfg.MeasureInstructions = c.Measure
+		sys, err := New(cfg, c.Benches, c.Seed)
+		if err != nil {
+			t.Fatalf("%s/%v: %v", c.Mech, c.Benches, err)
+		}
+		got := sys.Run()
+		if !reflect.DeepEqual(got, c.Results) {
+			t.Errorf("%s/%v: Results diverge from the seed checkout\n got: %+v\nwant: %+v",
+				c.Mech, c.Benches, got, c.Results)
+		}
+	}
+}

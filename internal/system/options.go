@@ -1,0 +1,73 @@
+package system
+
+import (
+	"dbisim/internal/telemetry"
+)
+
+// Option configures a System at construction time. Options are applied
+// by New in a fixed internal order (tracer, metrics registry, time
+// series), so combinations behave the same regardless of the order they
+// are passed in:
+//
+//	sys, err := system.New(cfg, benches, seed,
+//		system.WithTracer(t),
+//		system.WithTimeSeries(epoch),
+//		system.WithMetrics(reg))
+//
+// A System built with options is fully configured when New returns;
+// the deprecated AttachTracer/EnableTimeSeries mutators remain only as
+// shims for one release.
+type Option func(*options)
+
+type options struct {
+	tracer *telemetry.Tracer
+	epoch  uint64
+	reg    *telemetry.Registry
+}
+
+// WithTracer wires a request-lifecycle tracer into every component and
+// labels their viewer lanes. Tracing never changes simulated behavior:
+// Results stay bit-identical with and without it
+// (TestTelemetryDoesNotPerturbResults).
+func WithTracer(t *telemetry.Tracer) Option {
+	return func(o *options) { o.tracer = t }
+}
+
+// WithTimeSeries registers every component's metrics (and the
+// simulator's self-throughput gauges) and arms an epoch sampler that
+// snapshots them every epochCycles cycles during Run. The sampler only
+// reads counters at epoch boundaries, so — like tracing — it cannot
+// perturb the simulation's results. Retrieve the sampler with Sampler
+// after New.
+//
+// When combined with WithMetrics, the sampler snapshots the caller's
+// registry instead of a private one.
+func WithTimeSeries(epochCycles uint64) Option {
+	return func(o *options) { o.epoch = epochCycles }
+}
+
+// WithMetrics registers every component's probes into the caller's
+// registry, for callers that sample or export metrics themselves. The
+// self.* throughput gauges are only added (and only meaningful) when a
+// sampler is armed via WithTimeSeries, which then shares this registry.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(o *options) { o.reg = reg }
+}
+
+// apply wires the collected options into the assembled system.
+func (s *System) apply(o *options) {
+	if o.tracer != nil {
+		s.attachTracer(o.tracer)
+	}
+	if o.reg != nil || o.epoch > 0 {
+		reg := o.reg
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		s.registerComponentMetrics(reg)
+		if o.epoch > 0 {
+			s.registerSelfMetrics(reg)
+			s.sampler = telemetry.NewSampler(reg, o.epoch)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"dbisim/internal/config"
+	"dbisim/internal/telemetry"
+)
+
+func testCfg() config.SystemConfig {
+	cfg := config.Scaled(1, config.DBIAWBCLB)
+	cfg.WarmupInstructions = 20_000
+	cfg.MeasureInstructions = 40_000
+	return cfg
+}
+
+// TestOptionsMatchDeprecatedMutators holds the new construction-time
+// options to the exact behavior of the mutators they replace: same
+// Results, same sampler/tracer wiring.
+func TestOptionsMatchDeprecatedMutators(t *testing.T) {
+	tr1 := telemetry.NewTracer(1024)
+	viaOpts, err := New(testCfg(), []string{"stream"}, 42,
+		WithTracer(tr1), WithTimeSeries(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := viaOpts.Run()
+
+	tr2 := telemetry.NewTracer(1024)
+	viaMut, err := New(testCfg(), []string{"stream"}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMut.AttachTracer(tr2)
+	viaMut.EnableTimeSeries(10_000)
+	r2 := viaMut.Run()
+
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("options Results differ from mutator Results:\n%+v\nvs\n%+v", r1, r2)
+	}
+	if viaOpts.Tracer() != tr1 {
+		t.Fatal("WithTracer did not attach the tracer")
+	}
+	if viaOpts.Sampler() == nil {
+		t.Fatal("WithTimeSeries did not arm a sampler")
+	}
+	if tr1.Len() == 0 {
+		t.Fatal("tracer attached via option captured no events")
+	}
+	s1 := viaOpts.Sampler().Series()
+	s2 := viaMut.Sampler().Series()
+	if len(s1.Samples) == 0 || len(s1.Samples) != len(s2.Samples) {
+		t.Fatalf("sampler via option took %d samples, mutator %d",
+			len(s1.Samples), len(s2.Samples))
+	}
+}
+
+// TestWithMetricsUsesCallerRegistry checks WithMetrics registers the
+// component probes into the caller's registry, and that WithTimeSeries
+// shares it when both are given.
+func TestWithMetricsUsesCallerRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sys, err := New(testCfg(), []string{"stream"}, 42,
+		WithMetrics(reg), WithTimeSeries(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := reg.Names()
+	if len(names) == 0 {
+		t.Fatal("WithMetrics registered nothing")
+	}
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"llc.reads", "dram.reads", "cpu0.instructions",
+		"self.sim_cycles_per_sec"} {
+		if !found[want] {
+			t.Fatalf("registry missing %q (got %d names)", want, len(names))
+		}
+	}
+	sys.Run()
+	if got := sys.Sampler().Series(); len(got.Samples) == 0 {
+		t.Fatal("shared-registry sampler took no samples")
+	}
+}
+
+// TestWithMetricsAlone: without a sampler, only component probes are
+// registered (the self.* gauges need Run's sampler arming to be
+// meaningful).
+func TestWithMetricsAlone(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sys, err := New(testCfg(), []string{"stream"}, 42, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Sampler() != nil {
+		t.Fatal("WithMetrics alone must not arm a sampler")
+	}
+	for _, n := range reg.Names() {
+		if n == "self.sim_cycles_per_sec" {
+			t.Fatal("self.* gauges registered without a sampler")
+		}
+	}
+	if len(reg.Names()) == 0 {
+		t.Fatal("component probes missing")
+	}
+}
+
+// TestOptionOrderIrrelevant: options apply in a fixed internal order.
+func TestOptionOrderIrrelevant(t *testing.T) {
+	reg1 := telemetry.NewRegistry()
+	a, err := New(testCfg(), []string{"stream"}, 42,
+		WithTimeSeries(10_000), WithMetrics(reg1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := telemetry.NewRegistry()
+	b, err := New(testCfg(), []string{"stream"}, 42,
+		WithMetrics(reg2), WithTimeSeries(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reg1.Names(), reg2.Names()) {
+		t.Fatal("option order changed registry layout")
+	}
+	if !reflect.DeepEqual(a.Run(), b.Run()) {
+		t.Fatal("option order changed Results")
+	}
+}
+
+// TestNilOptionTolerated: a nil Option is skipped, keeping variadic
+// call sites that conditionally build option slices simple.
+func TestNilOptionTolerated(t *testing.T) {
+	sys, err := New(testCfg(), []string{"stream"}, 42, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Tracer() != nil || sys.Sampler() != nil {
+		t.Fatal("nil options configured something")
+	}
+}

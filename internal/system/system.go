@@ -85,7 +85,11 @@ type Results struct {
 // (len(benches) must equal cfg.NumCores). Each core's footprint is
 // offset so address streams never overlap, exactly like distinct
 // processes in the paper's multiprogrammed workloads.
-func New(cfg config.SystemConfig, benches []string, seed int64) (*System, error) {
+//
+// Optional observability is configured at construction with functional
+// options — WithTracer, WithTimeSeries, WithMetrics — so the returned
+// System is fully wired before its first cycle.
+func New(cfg config.SystemConfig, benches []string, seed int64, opts ...Option) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -117,15 +121,27 @@ func New(cfg config.SystemConfig, benches []string, seed int64) (*System, error)
 		}
 		s.Cores = append(s.Cores, core)
 	}
+	var o options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	s.apply(&o)
 	return s, nil
 }
 
 // AttachTracer wires a request-lifecycle tracer into every component
-// and labels their viewer lanes. Call it after New and before Run; a
-// nil tracer detaches. Tracing must never change simulated behavior —
-// TestTelemetryDoesNotPerturbResults holds Run's Results bit-identical
+// after construction; a nil tracer detaches.
+//
+// Deprecated: pass WithTracer to New instead.
+func (s *System) AttachTracer(t *telemetry.Tracer) { s.attachTracer(t) }
+
+// attachTracer is the tracer wiring shared by WithTracer and the
+// deprecated AttachTracer. Tracing must never change simulated behavior
+// — TestTelemetryDoesNotPerturbResults holds Run's Results bit-identical
 // with and without it.
-func (s *System) AttachTracer(t *telemetry.Tracer) {
+func (s *System) attachTracer(t *telemetry.Tracer) {
 	s.tracer = t
 	s.Mem.Trc = t
 	s.LLC.Trc = t
@@ -145,19 +161,25 @@ func (s *System) AttachTracer(t *telemetry.Tracer) {
 func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
 
 // EnableTimeSeries registers every component's metrics and arms an
-// epoch sampler that snapshots them every epochCycles cycles during
-// Run. The sampler only reads counters at epoch boundaries, so — like
-// tracing — it cannot perturb the simulation's results.
+// epoch sampler after construction.
+//
+// Deprecated: pass WithTimeSeries to New instead (and Sampler to
+// retrieve the armed sampler).
 func (s *System) EnableTimeSeries(epochCycles uint64) *telemetry.Sampler {
 	reg := telemetry.NewRegistry()
+	s.registerComponentMetrics(reg)
+	s.registerSelfMetrics(reg)
+	s.sampler = telemetry.NewSampler(reg, epochCycles)
+	return s.sampler
+}
+
+// registerComponentMetrics adds every component's probes to a registry.
+func (s *System) registerComponentMetrics(reg *telemetry.Registry) {
 	for _, c := range s.Cores {
 		c.RegisterMetrics(reg)
 	}
 	s.LLC.RegisterMetrics(reg)
 	s.Mem.RegisterMetrics(reg)
-	s.registerSelfMetrics(reg)
-	s.sampler = telemetry.NewSampler(reg, epochCycles)
-	return s.sampler
 }
 
 // registerSelfMetrics adds the simulator-throughput gauges — how fast
