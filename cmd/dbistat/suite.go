@@ -4,12 +4,14 @@ import (
 	"io"
 
 	"dbisim/internal/addr"
+	"dbisim/internal/cache"
 	"dbisim/internal/config"
 	"dbisim/internal/dbi"
 	"dbisim/internal/event"
 	"dbisim/internal/experiments"
 	"dbisim/internal/perfstat"
 	"dbisim/internal/system"
+	"dbisim/internal/trace"
 )
 
 // The recording suite. Micro targets mirror the `go test -bench`
@@ -33,6 +35,10 @@ func suite(kind string, seed int64) []perfstat.Target {
 			perfstat.Target{Name: "micro/event.chain", Kind: perfstat.KindMicro, Run: eventChain},
 			perfstat.Target{Name: "micro/dbi.setdirty", Kind: perfstat.KindMicro, Run: dbiSetDirty},
 			perfstat.Target{Name: "micro/dbi.isdirty", Kind: perfstat.KindMicro, Run: dbiIsDirty},
+			perfstat.Target{Name: "micro/trace.next", Kind: perfstat.KindMicro, Run: func() (perfstat.Counts, error) {
+				return traceNext(seed)
+			}},
+			perfstat.Target{Name: "micro/mshr.lookup", Kind: perfstat.KindMicro, Run: mshrLookup},
 			perfstat.Target{Name: "micro/sim.stream", Kind: perfstat.KindMicro, Run: func() (perfstat.Counts, error) {
 				return simStream(seed)
 			}},
@@ -49,8 +55,15 @@ func suite(kind string, seed int64) []perfstat.Target {
 				return err
 			}),
 			macroTarget("macro/flushlat", seed, func(o experiments.Options) error {
-				_, err := experiments.Flush(o)
-				return err
+				// One Flush is sub-millisecond — below the host's
+				// scheduling-noise floor — so run a batch per round to
+				// give the regression gate a resolvable signal.
+				for i := 0; i < 50; i++ {
+					if _, err := experiments.Flush(o); err != nil {
+						return err
+					}
+				}
+				return nil
 			}),
 		)
 	}
@@ -108,6 +121,41 @@ func dbiIsDirty() (perfstat.Counts, error) {
 	}
 	for i := 0; i < microOps; i++ {
 		d.IsDirty(addr.BlockAddr(i & 8191))
+	}
+	return perfstat.Counts{Ops: microOps}, nil
+}
+
+// traceNext measures the synthetic trace generator's record loop — page
+// translation through the open-addressed page table plus the RNG draws —
+// the per-instruction front-end cost of every simulated core.
+func traceNext(seed int64) (perfstat.Counts, error) {
+	p, err := trace.ByName("stream")
+	if err != nil {
+		return perfstat.Counts{}, err
+	}
+	g := trace.New(p, addr.Addr(1<<36), seed)
+	for i := 0; i < microOps; i++ {
+		g.Next()
+	}
+	return perfstat.Counts{Ops: microOps}, nil
+}
+
+// mshrLookup measures the MSHR file's probe/allocate/complete cycle at
+// a realistic occupancy: register a window of blocks, then stream
+// lookups and completions through the open-addressed table.
+func mshrLookup() (perfstat.Counts, error) {
+	m := cache.NewMSHR(32)
+	nop := func() {}
+	for i := 0; i < 24; i++ {
+		m.Register(uint64(i*61), nop)
+	}
+	for i := 0; i < microOps; i++ {
+		b := uint64(i * 61)
+		if m.Outstanding(b) {
+			m.Complete(b)
+		} else if !m.Full() {
+			m.Register(b, nop)
+		}
 	}
 	return perfstat.Counts{Ops: microOps}, nil
 }

@@ -19,12 +19,24 @@ import (
 	"dbisim/internal/stats"
 )
 
-// Block is one tag-store entry.
+// Block is one tag-store entry as seen by callers (a value snapshot).
 type Block struct {
 	Valid  bool
 	Addr   addr.BlockAddr // full block address (tag + index)
 	Dirty  bool           // unused when a DBI owns dirty state
 	Thread int            // inserting thread (for TA-DIP and stats)
+}
+
+// entry is the internal tag-store slot. Validity is a generation stamp —
+// the slot is live iff gen equals the cache's current generation — so
+// Reset invalidates the whole tag store by bumping one counter instead
+// of an O(capacity) sweep. Every read path checks the stamp before
+// trusting the other fields, so stale contents are never observed.
+type entry struct {
+	gen    uint64
+	addr   addr.BlockAddr
+	dirty  bool
+	thread int
 }
 
 // Stats counts tag-store activity. TagLookups is the quantity Figure 6c
@@ -44,7 +56,8 @@ type Cache struct {
 	params config.CacheParams
 	sets   int
 	ways   int
-	blocks []Block
+	gen    uint64 // current validity generation (starts at 1; 0 = never valid)
+	blocks []entry
 	policy replacement.Policy
 
 	// Stats is exported for the owning level to read.
@@ -78,9 +91,21 @@ func New(p config.CacheParams, threads int, seed int64) (*Cache, error) {
 		params: p,
 		sets:   p.Sets(),
 		ways:   p.Ways,
-		blocks: make([]Block, p.Sets()*p.Ways),
+		gen:    1,
+		blocks: make([]entry, p.Sets()*p.Ways),
 		policy: pol,
 	}, nil
+}
+
+// Reset returns the cache to power-on state: every block invalid (one
+// generation bump), replacement state re-derived from seed exactly as
+// New would, statistics zeroed. The tag store and policy arrays are
+// retained, so a reset cache behaves bit-identically to a fresh one
+// without reallocating.
+func (c *Cache) Reset(seed int64) {
+	c.gen++
+	c.policy.Reset(seed)
+	c.Stats = Stats{}
 }
 
 // Params returns the configured parameters.
@@ -97,19 +122,30 @@ func (c *Cache) SetOf(b addr.BlockAddr) int {
 	return int(uint64(b) & uint64(c.sets-1))
 }
 
-// at returns the block in (set, way).
-func (c *Cache) at(set, way int) *Block { return &c.blocks[set*c.ways+way] }
+// at returns the slot in (set, way).
+func (c *Cache) at(set, way int) *entry { return &c.blocks[set*c.ways+way] }
+
+// valid reports whether the slot's contents belong to the current
+// generation.
+func (c *Cache) valid(e *entry) bool { return e.gen == c.gen }
 
 // BlockAt exposes the tag entry at (set, way) for diagnostics and for
-// mechanisms (VWQ, DAWB) that scan sets.
-func (c *Cache) BlockAt(set, way int) Block { return *c.at(set, way) }
+// mechanisms (VWQ, DAWB) that scan sets. Invalid slots read as the zero
+// Block regardless of their stale contents.
+func (c *Cache) BlockAt(set, way int) Block {
+	e := c.at(set, way)
+	if !c.valid(e) {
+		return Block{}
+	}
+	return Block{Valid: true, Addr: e.addr, Dirty: e.dirty, Thread: e.thread}
+}
 
 // find locates a block without touching statistics or recency.
 func (c *Cache) find(b addr.BlockAddr) (way int, ok bool) {
 	set := c.SetOf(b)
 	for w := 0; w < c.ways; w++ {
-		blk := c.at(set, w)
-		if blk.Valid && blk.Addr == b {
+		e := c.at(set, w)
+		if c.valid(e) && e.addr == b {
 			return w, true
 		}
 	}
@@ -160,26 +196,26 @@ func (c *Cache) Insert(b addr.BlockAddr, thread int, dirty bool) (victim Block) 
 	set := c.SetOf(b)
 	if way, ok := c.find(b); ok {
 		// Already present: refresh dirty/thread state only.
-		blk := c.at(set, way)
-		blk.Dirty = blk.Dirty || dirty
+		e := c.at(set, way)
+		e.dirty = e.dirty || dirty
 		return Block{}
 	}
 	way := -1
 	for w := 0; w < c.ways; w++ {
-		if !c.at(set, w).Valid {
+		if !c.valid(c.at(set, w)) {
 			way = w
 			break
 		}
 	}
 	if way < 0 {
 		way = c.policy.Victim(set)
-		victim = *c.at(set, way)
+		victim = c.BlockAt(set, way)
 		c.Stats.Evictions.Inc()
 		if victim.Dirty {
 			c.Stats.DirtyEvict.Inc()
 		}
 	}
-	*c.at(set, way) = Block{Valid: true, Addr: b, Dirty: dirty, Thread: thread}
+	*c.at(set, way) = entry{gen: c.gen, addr: b, dirty: dirty, thread: thread}
 	c.policy.Insert(set, way, thread)
 	c.Stats.Inserts.Inc()
 	return victim
@@ -192,8 +228,8 @@ func (c *Cache) Invalidate(b addr.BlockAddr) (old Block, ok bool) {
 		return Block{}, false
 	}
 	set := c.SetOf(b)
-	old = *c.at(set, way)
-	*c.at(set, way) = Block{}
+	old = c.BlockAt(set, way)
+	c.at(set, way).gen = 0
 	return old, true
 }
 
@@ -204,7 +240,7 @@ func (c *Cache) SetDirty(b addr.BlockAddr, dirty bool) bool {
 	if !ok {
 		return false
 	}
-	c.at(c.SetOf(b), way).Dirty = dirty
+	c.at(c.SetOf(b), way).dirty = dirty
 	return true
 }
 
@@ -212,26 +248,34 @@ func (c *Cache) SetDirty(b addr.BlockAddr, dirty bool) bool {
 // without counting a lookup.
 func (c *Cache) IsDirty(b addr.BlockAddr) bool {
 	way, ok := c.find(b)
-	return ok && c.at(c.SetOf(b), way).Dirty
+	return ok && c.at(c.SetOf(b), way).dirty
+}
+
+// DirtyBlocksInto appends the addresses of all dirty blocks to dst and
+// returns the extended slice, letting scan-heavy callers (flush loops,
+// AWB harvests) reuse one scratch buffer instead of allocating per call.
+func (c *Cache) DirtyBlocksInto(dst []addr.BlockAddr) []addr.BlockAddr {
+	for i := range c.blocks {
+		e := &c.blocks[i]
+		if c.valid(e) && e.dirty {
+			dst = append(dst, e.addr)
+		}
+	}
+	return dst
 }
 
 // DirtyBlocks returns the addresses of all dirty blocks (test oracle and
-// cache-flush support).
+// cache-flush support). Allocation-sensitive callers should prefer
+// DirtyBlocksInto.
 func (c *Cache) DirtyBlocks() []addr.BlockAddr {
-	var out []addr.BlockAddr
-	for i := range c.blocks {
-		if c.blocks[i].Valid && c.blocks[i].Dirty {
-			out = append(out, c.blocks[i].Addr)
-		}
-	}
-	return out
+	return c.DirtyBlocksInto(nil)
 }
 
 // CountValid returns the number of valid blocks (diagnostics).
 func (c *Cache) CountValid() int {
 	n := 0
 	for i := range c.blocks {
-		if c.blocks[i].Valid {
+		if c.valid(&c.blocks[i]) {
 			n++
 		}
 	}

@@ -95,6 +95,19 @@ func (p *Port) complete() {
 	p.dispatch()
 }
 
+// Reset returns the port to idle power-on state: no operation in
+// flight, queues emptied (capacity retained), counters zeroed. The
+// caller is responsible for resetting the engine first so no completion
+// event for a dropped in-flight op can still fire.
+func (p *Port) Reset() {
+	p.busy = false
+	p.demand = p.demand[:0]
+	p.background = p.background[:0]
+	p.curDone = nil
+	p.BusyCycles, p.DemandOps = 0, 0
+	p.BackgroundOps, p.QueueDelay = 0, 0
+}
+
 // RegisterMetrics adds the port's contention probes under the given
 // name prefix (e.g. "llc.port").
 func (p *Port) RegisterMetrics(reg *telemetry.Registry, prefix string) {
@@ -107,54 +120,175 @@ func (p *Port) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 
 // MSHR tracks outstanding misses so that requests to the same block merge
 // instead of issuing duplicate fills.
+//
+// The file is hardware-shaped rather than map-backed: a fixed slab of
+// capacity entries threaded on an intrusive free list, indexed by an
+// open-addressed, linear-probed table sized to at most 25% load. Waiter
+// slices are recycled through a small pool, so the steady state neither
+// allocates nor hashes through the Go runtime.
 type MSHR struct {
 	capacity int
-	pending  map[uint64][]func()
+	n        int         // live entries
+	entries  []mshrEntry // fixed slab, len == capacity
+	freeHead int32       // head of the free list through entries, -1 = none
+	table    []int32     // probe array: 0 = empty, else entry index + 1
+	mask     uint64
+	wsFree   [][]func() // recycled waiter slices (capacity retained)
 }
+
+type mshrEntry struct {
+	block   uint64
+	next    int32 // free-list link
+	waiters []func()
+}
+
+// mshrHashMul is the 64-bit Fibonacci-hashing multiplier (2^64/φ, odd).
+const mshrHashMul = 0x9E3779B97F4A7C15
 
 // NewMSHR returns an MSHR file with the given capacity.
 func NewMSHR(capacity int) *MSHR {
-	return &MSHR{capacity: capacity, pending: make(map[uint64][]func())}
+	size := uint64(8)
+	for size < 4*uint64(max(capacity, 1)) {
+		size <<= 1
+	}
+	m := &MSHR{
+		capacity: capacity,
+		entries:  make([]mshrEntry, capacity),
+		freeHead: -1,
+		table:    make([]int32, size),
+		mask:     size - 1,
+	}
+	for i := range m.entries {
+		m.entries[i].next = int32(i) + 1
+	}
+	if capacity > 0 {
+		m.entries[capacity-1].next = -1
+		m.freeHead = 0
+	}
+	return m
+}
+
+// Reset empties the MSHR, rebuilding the free list and recycling waiter
+// slices. The probe table is cleared directly — it is a few cache lines
+// for realistic capacities.
+func (m *MSHR) Reset() {
+	for i := range m.table {
+		m.table[i] = 0
+	}
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.waiters != nil {
+			m.wsFree = append(m.wsFree, e.waiters[:0])
+			e.waiters = nil
+		}
+		e.next = int32(i) + 1
+	}
+	if m.capacity > 0 {
+		m.entries[m.capacity-1].next = -1
+		m.freeHead = 0
+	}
+	m.n = 0
+}
+
+// findSlot probes for block. It returns the matching table slot and
+// entry index, or (first empty slot, -1) when the block is absent.
+func (m *MSHR) findSlot(block uint64) (slot uint64, idx int32) {
+	i := (block * mshrHashMul) & m.mask
+	for m.table[i] != 0 {
+		e := m.table[i] - 1
+		if m.entries[e].block == block {
+			return i, e
+		}
+		i = (i + 1) & m.mask
+	}
+	return i, -1
 }
 
 // Len reports outstanding entries.
-func (m *MSHR) Len() int { return len(m.pending) }
+func (m *MSHR) Len() int { return m.n }
 
 // Full reports whether a new (non-merging) allocation would exceed
 // capacity.
-func (m *MSHR) Full() bool { return len(m.pending) >= m.capacity }
+func (m *MSHR) Full() bool { return m.n >= m.capacity }
 
 // Register adds a waiter for a block. It reports whether this is the
 // first (allocating) request, i.e. the caller must issue the fill.
 // Registering a new block on a full MSHR panics; callers must check Full
 // and stall instead.
 func (m *MSHR) Register(block uint64, wake func()) (first bool) {
-	ws, ok := m.pending[block]
-	if !ok {
-		if m.Full() {
-			panic("cache: MSHR overflow; caller must stall on Full()")
-		}
-		m.pending[block] = []func(){wake}
-		return true
+	slot, idx := m.findSlot(block)
+	if idx >= 0 {
+		e := &m.entries[idx]
+		e.waiters = append(e.waiters, wake)
+		return false
 	}
-	m.pending[block] = append(ws, wake)
-	return false
+	if m.Full() {
+		panic("cache: MSHR overflow; caller must stall on Full()")
+	}
+	idx = m.freeHead
+	e := &m.entries[idx]
+	m.freeHead = e.next
+	e.block = block
+	if n := len(m.wsFree); e.waiters == nil && n > 0 {
+		e.waiters = m.wsFree[n-1]
+		m.wsFree[n-1] = nil
+		m.wsFree = m.wsFree[:n-1]
+	}
+	e.waiters = append(e.waiters, wake)
+	m.table[slot] = idx + 1
+	m.n++
+	return true
 }
 
 // Outstanding reports whether the block has an MSHR entry.
 func (m *MSHR) Outstanding(block uint64) bool {
-	_, ok := m.pending[block]
-	return ok
+	_, idx := m.findSlot(block)
+	return idx >= 0
 }
 
 // Complete releases the entry for a block and runs all waiters in
-// registration order.
+// registration order. The entry is freed before the waiters run, so a
+// waiter may re-register the same block (taking a fresh entry) without
+// observing a phantom outstanding miss.
 func (m *MSHR) Complete(block uint64) {
-	ws := m.pending[block]
-	delete(m.pending, block)
+	slot, idx := m.findSlot(block)
+	if idx < 0 {
+		return
+	}
+	e := &m.entries[idx]
+	ws := e.waiters
+	e.waiters = nil
+	e.next = m.freeHead
+	m.freeHead = idx
+	m.n--
+	m.deleteSlot(slot)
 	for _, w := range ws {
 		if w != nil {
 			w()
+		}
+	}
+	m.wsFree = append(m.wsFree, ws[:0])
+}
+
+// deleteSlot removes table slot i with the backward-shift technique for
+// linear probing: subsequent cluster members whose home slot lies at or
+// before the vacated position are shifted back, so no tombstones are
+// needed and probe chains never grow stale.
+func (m *MSHR) deleteSlot(i uint64) {
+	for {
+		m.table[i] = 0
+		j := i
+		for {
+			j = (j + 1) & m.mask
+			if m.table[j] == 0 {
+				return
+			}
+			home := (m.entries[m.table[j]-1].block * mshrHashMul) & m.mask
+			if (j-home)&m.mask >= (j-i)&m.mask {
+				m.table[i] = m.table[j]
+				i = j
+				break
+			}
 		}
 	}
 }

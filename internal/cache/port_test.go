@@ -50,7 +50,7 @@ func TestPortNoPreemption(t *testing.T) {
 	var bgDone, demandDone event.Cycle
 	p.Submit(true, 100, func() { bgDone = eng.Now() })
 	// Demand arrives at cycle 1, must wait for the background op.
-	eng.Schedule(1, func() {
+	eng.At(1, func() {
 		p.Submit(false, 10, func() { demandDone = eng.Now() })
 	})
 	eng.Run()

@@ -22,8 +22,8 @@ func (c *Cache) DirtyInLowRanks(set, k int) bool {
 		return false
 	}
 	for w := 0; w < c.ways; w++ {
-		blk := c.at(set, w)
-		if blk.Valid && blk.Dirty && r.Rank(set, w) < k {
+		e := c.at(set, w)
+		if c.valid(e) && e.dirty && r.Rank(set, w) < k {
 			return true
 		}
 	}

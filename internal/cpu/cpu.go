@@ -59,7 +59,14 @@ type Core struct {
 	stalled       bool
 	deferred      trace.Record // record waiting on a full window
 	stopped       bool
-	outstanding   map[addr.BlockAddr][]func()
+
+	// outstanding merges concurrent shared-level fetches to the same
+	// block (the private-level MSHRs). Requests are pooled records with
+	// prebound completion callbacks and recycled waiter slices, so a
+	// miss costs no allocation in steady state.
+	outstanding map[addr.BlockAddr]*sharedReq
+	sharedFree  *sharedReq
+	swFree      [][]sharedWaiter
 
 	// Budget: the core calls onDone once after issuing budget
 	// instructions; it keeps running afterwards to preserve contention.
@@ -89,6 +96,24 @@ type loadSlot struct {
 	fn   event.Func // bound once: marks the slot done and resumes issue
 }
 
+// sharedWaiter is one request parked on an outstanding shared-level
+// fetch: on fill it installs the block in L2 then L1 (dirty for
+// stores), then signals the waiting load slot (done is nil for stores).
+type sharedWaiter struct {
+	dirty bool
+	done  func()
+}
+
+// sharedReq is a pooled outstanding shared-level fetch; fn is bound
+// once at allocation so a miss schedules no new closure.
+type sharedReq struct {
+	b       addr.BlockAddr
+	start   event.Cycle
+	waiters []sharedWaiter
+	fn      event.Func
+	next    *sharedReq
+}
+
 // New builds a core with fresh private caches.
 func New(eng *event.Engine, id int, cfg config.SystemConfig, gen trace.Generator, shared *llc.LLC, seed int64) (*Core, error) {
 	l1, err := cache.New(cfg.L1, 1, seed)
@@ -110,7 +135,7 @@ func New(eng *event.Engine, id int, cfg config.SystemConfig, gen trace.Generator
 		window:      cfg.Core.WindowSize,
 		l1Latency:   event.Cycle(cfg.L1.AccessLatency()),
 		l2Latency:   event.Cycle(cfg.L1.AccessLatency() + cfg.L2.AccessLatency()),
-		outstanding: make(map[addr.BlockAddr][]func()),
+		outstanding: make(map[addr.BlockAddr]*sharedReq),
 	}
 	c.stepFn = c.step
 	c.advanceFn = func() {
@@ -144,6 +169,40 @@ func (c *Core) putSlot(s *loadSlot) {
 	c.slotFree = s
 }
 
+// getShared takes a shared-fetch record from the free list, binding its
+// completion callback only on first allocation and reusing a recycled
+// waiter slice when one is available.
+func (c *Core) getShared(b addr.BlockAddr) *sharedReq {
+	r := c.sharedFree
+	if r == nil {
+		r = &sharedReq{}
+		r.fn = func() { c.completeShared(r) }
+	} else {
+		c.sharedFree = r.next
+	}
+	r.next = nil
+	r.b = b
+	if n := len(c.swFree); n > 0 {
+		r.waiters = c.swFree[n-1]
+		c.swFree = c.swFree[:n-1]
+	}
+	return r
+}
+
+// putShared detaches and recycles a record's waiter slice (dropping the
+// closure references it holds) and returns the record to the free list.
+func (c *Core) putShared(r *sharedReq) {
+	if r.waiters != nil {
+		for i := range r.waiters {
+			r.waiters[i] = sharedWaiter{}
+		}
+		c.swFree = append(c.swFree, r.waiters[:0])
+		r.waiters = nil
+	}
+	r.next = c.sharedFree
+	c.sharedFree = r
+}
+
 // Start begins execution: the core will call onDone once after issuing
 // budget instructions, then keep running (to preserve contention for
 // other cores) until Stop.
@@ -165,6 +224,31 @@ func (c *Core) Rebudget(budget uint64, onDone func()) {
 
 // Stop halts the core after its current event.
 func (c *Core) Stop() { c.stopped = true }
+
+// Reset returns the core and its private caches to power-on state with
+// fresh replacement seeds (the same derivation New uses: L1 gets seed,
+// L2 seed+1). The caller must reset the engine first so no stale advance
+// or load-completion event can fire into the new run, and must reset the
+// core's trace generator separately (the core does not own it).
+func (c *Core) Reset(seed int64) {
+	c.l1.Reset(seed)
+	c.l2.Reset(seed + 1)
+	c.issued, c.issuedAtStart = 0, 0
+	for _, s := range c.inflight {
+		c.putSlot(s)
+	}
+	c.inflight = c.inflight[:0]
+	c.stalled = false
+	c.deferred = trace.Record{}
+	c.stopped = false
+	for _, r := range c.outstanding {
+		c.putShared(r)
+	}
+	clear(c.outstanding)
+	c.budget, c.onDone, c.done = 0, nil, false
+	c.startCycle, c.doneCycle = 0, 0
+	c.Stat = Stats{}
+}
 
 // Done reports whether the budget has been reached.
 func (c *Core) Done() bool { return c.done }
@@ -302,11 +386,7 @@ func (c *Core) load(b addr.BlockAddr, done func()) {
 		c.Eng.After(c.l2Latency, done)
 		return
 	}
-	c.fetchShared(b, func() {
-		c.fillL2(b)
-		c.fillL1(b, false)
-		done()
-	})
+	c.fetchShared(b, false, done)
 }
 
 // store performs a write-allocate store; it never blocks the window.
@@ -322,32 +402,48 @@ func (c *Core) store(b addr.BlockAddr) {
 		return
 	}
 	// Read-for-ownership fetch, then install dirty in L1.
-	c.fetchShared(b, func() {
-		c.fillL2(b)
-		c.fillL1(b, true)
-	})
+	c.fetchShared(b, true, nil)
 }
 
 // fetchShared reads a block from the LLC, merging concurrent requests to
-// the same block (the private-level MSHRs).
-func (c *Core) fetchShared(b addr.BlockAddr, done func()) {
-	if ws, ok := c.outstanding[b]; ok {
-		c.outstanding[b] = append(ws, done)
+// the same block (the private-level MSHRs). Every waiter — including the
+// originator — fills L2 then L1 on completion, in registration order.
+func (c *Core) fetchShared(b addr.BlockAddr, dirty bool, done func()) {
+	if r, ok := c.outstanding[b]; ok {
+		r.waiters = append(r.waiters, sharedWaiter{dirty, done})
 		return
 	}
-	c.outstanding[b] = []func(){done}
+	r := c.getShared(b)
+	r.waiters = append(r.waiters, sharedWaiter{dirty, done})
+	c.outstanding[b] = r
 	c.Stat.LLCAccesses.Inc()
-	start := c.Eng.Now()
-	c.llc.Read(b, c.ID, func() {
-		// The whole shared-level journey: LLC lookup (or bypass), DRAM
-		// queueing, bank service, fill — one span per missed block.
-		c.Trc.Complete("cpu", "llc_read", c.ID, uint64(start), uint64(c.Eng.Now()), uint64(b))
-		ws := c.outstanding[b]
-		delete(c.outstanding, b)
-		for _, w := range ws {
-			w()
+	r.start = c.Eng.Now()
+	c.llc.Read(b, c.ID, r.fn)
+}
+
+// completeShared finishes an outstanding fetch: it recycles the record
+// before running the waiters (a waiter may issue a new miss and reuse
+// it), holding the detached waiter slice until the loop is done.
+func (c *Core) completeShared(r *sharedReq) {
+	b, start, ws := r.b, r.start, r.waiters
+	r.waiters = nil
+	r.next = c.sharedFree
+	c.sharedFree = r
+	// The whole shared-level journey: LLC lookup (or bypass), DRAM
+	// queueing, bank service, fill — one span per missed block.
+	c.Trc.Complete("cpu", "llc_read", c.ID, uint64(start), uint64(c.Eng.Now()), uint64(b))
+	delete(c.outstanding, b)
+	for i := range ws {
+		c.fillL2(b)
+		c.fillL1(b, ws[i].dirty)
+		if ws[i].done != nil {
+			ws[i].done()
 		}
-	})
+	}
+	for i := range ws {
+		ws[i] = sharedWaiter{}
+	}
+	c.swFree = append(c.swFree, ws[:0])
 }
 
 // fillL1 installs a block in L1, cascading a dirty victim into L2.

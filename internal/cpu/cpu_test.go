@@ -19,7 +19,7 @@ type countMem struct {
 
 func (m *countMem) Read(b addr.BlockAddr, done func()) {
 	m.reads++
-	m.eng.ScheduleAfter(100, done)
+	m.eng.After(100, done)
 }
 func (m *countMem) Write(b addr.BlockAddr) { m.writes++ }
 

@@ -65,7 +65,7 @@ func (d *DBI) Flush() []Eviction {
 	for i := range d.entries {
 		e := &d.entries[i]
 		if e.Valid {
-			evs = append(evs, d.evict(e))
+			evs = append(evs, d.evict(e, nil))
 		}
 	}
 	return evs

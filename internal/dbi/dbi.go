@@ -145,6 +145,29 @@ func New(geo addr.Geometry, prm config.DBIParams, cacheBlocks int, seed int64) (
 	return d, nil
 }
 
+// Reset returns the DBI to power-on state for a new run with the given
+// seed, reusing every allocation. The entry array is small (a few
+// thousand entries at realistic α), so validity is cleared directly;
+// the caches' multi-megabyte tag stores are where generation stamps pay
+// off. Bit vectors and replacement metadata are zeroed too, so a reset
+// DBI is field-for-field the DBI New would build.
+func (d *DBI) Reset(seed int64) {
+	for i := range d.entries {
+		e := &d.entries[i]
+		e.Valid = false
+		e.Region = 0
+		e.lastWrite = 0
+		e.rwpv = 0
+		e.clearAll()
+	}
+	d.clock = 0
+	d.rng.Seed(seed)
+	st := &d.Stat
+	st.Lookups, st.Writes, st.Cleans = 0, 0, 0
+	st.EntryInserts, st.Evictions, st.EvictionBlocks = 0, 0, 0
+	st.DirtyAtEviction.Reset()
+}
+
 func log2(v uint64) uint {
 	var n uint
 	for v > 1 {
@@ -217,6 +240,17 @@ func (d *DBI) IsDirty(b addr.BlockAddr) bool {
 // possibly evicting another entry; the eviction (if any) is returned and
 // the caller must write back and clean every listed block.
 func (d *DBI) SetDirty(b addr.BlockAddr) (ev Eviction, evicted bool) {
+	return d.SetDirtyInto(b, nil)
+}
+
+// SetDirtyInto is SetDirty with a caller-provided scratch buffer: when
+// the insert displaces an entry, the eviction's Blocks list is built by
+// appending into scratch (re-sliced to zero length), so a caller that
+// recycles buffers pays no allocation per eviction. When no eviction
+// occurs scratch is untouched and the caller keeps ownership; on
+// eviction the returned Blocks alias (or, if scratch was too small, a
+// regrown copy of) scratch.
+func (d *DBI) SetDirtyInto(b addr.BlockAddr, scratch []addr.BlockAddr) (ev Eviction, evicted bool) {
 	d.Stat.Writes.Inc()
 	d.clock++
 	r := d.RegionOf(b)
@@ -229,7 +263,7 @@ func (d *DBI) SetDirty(b addr.BlockAddr) (ev Eviction, evicted bool) {
 	set := d.setOf(r)
 	way, victim := d.allocate(set)
 	if victim != nil {
-		ev = d.evict(victim)
+		ev = d.evict(victim, scratch[:0])
 		evicted = true
 	}
 	e := d.at(set, way)
@@ -316,9 +350,10 @@ func (d *DBI) insertMetadata(e *Entry) {
 	}
 }
 
-// evict harvests the eviction's writeback list and invalidates the entry.
-func (d *DBI) evict(e *Entry) Eviction {
-	ev := Eviction{Region: e.Region, Blocks: d.blocksOf(e)}
+// evict harvests the eviction's writeback list (appending into dst) and
+// invalidates the entry.
+func (d *DBI) evict(e *Entry, dst []addr.BlockAddr) Eviction {
+	ev := Eviction{Region: e.Region, Blocks: d.blocksOfInto(e, dst)}
 	d.Stat.Evictions.Inc()
 	d.Stat.EvictionBlocks.Add(uint64(len(ev.Blocks)))
 	d.Stat.DirtyAtEviction.Observe(len(ev.Blocks))
@@ -329,14 +364,18 @@ func (d *DBI) evict(e *Entry) Eviction {
 
 // blocksOf lists the dirty block addresses of an entry.
 func (d *DBI) blocksOf(e *Entry) []addr.BlockAddr {
-	var out []addr.BlockAddr
+	return d.blocksOfInto(e, nil)
+}
+
+// blocksOfInto appends the entry's dirty block addresses to dst.
+func (d *DBI) blocksOfInto(e *Entry, dst []addr.BlockAddr) []addr.BlockAddr {
 	base := uint64(e.Region) << d.regionShift
 	for i := 0; i < d.granularity; i++ {
 		if e.bit(i) {
-			out = append(out, addr.BlockAddr(base|uint64(i)))
+			dst = append(dst, addr.BlockAddr(base|uint64(i)))
 		}
 	}
-	return out
+	return dst
 }
 
 // ClearDirty resets a block's dirty bit (the block was written back on a
@@ -370,6 +409,18 @@ func (d *DBI) DirtyBlocksInRegion(b addr.BlockAddr) []addr.BlockAddr {
 		return nil
 	}
 	return d.blocksOf(e)
+}
+
+// DirtyBlocksInRegionInto is DirtyBlocksInRegion appending into a
+// caller-provided scratch slice, for the per-eviction AWB harvest path
+// where a fresh slice per query would dominate the allocation profile.
+func (d *DBI) DirtyBlocksInRegionInto(b addr.BlockAddr, dst []addr.BlockAddr) []addr.BlockAddr {
+	d.Stat.Lookups.Inc()
+	e := d.find(d.RegionOf(b))
+	if e == nil {
+		return dst
+	}
+	return d.blocksOfInto(e, dst)
 }
 
 // DirtyCount returns the total number of dirty blocks tracked.

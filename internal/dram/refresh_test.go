@@ -19,7 +19,7 @@ func TestRefreshBlocksBanks(t *testing.T) {
 	}
 	// A read issued right after a refresh point must wait out tRFC.
 	var servedAt event.Cycle
-	eng.Schedule(1001, func() {
+	eng.At(1001, func() {
 		c.Read(addr.BlockAddr(0), func() { servedAt = eng.Now() })
 	})
 	eng.RunUntil(2500)
@@ -47,7 +47,7 @@ func TestRefreshClosesRows(t *testing.T) {
 	// (Run is bounded: the armed refresh reschedules itself forever.)
 	c.Read(addr.BlockAddr(0), nil)
 	eng.RunUntil(5_000)
-	eng.Schedule(11_000, func() {
+	eng.At(11_000, func() {
 		c.Read(addr.BlockAddr(1), nil)
 	})
 	eng.RunUntil(20_000)

@@ -11,11 +11,11 @@ func BenchmarkScheduleRun(b *testing.B) {
 	step = func() {
 		n++
 		if n < b.N {
-			e.ScheduleAfter(1, step)
+			e.After(1, step)
 		}
 	}
 	b.ResetTimer()
-	e.ScheduleAfter(1, step)
+	e.After(1, step)
 	e.Run()
 }
 
@@ -25,7 +25,7 @@ func BenchmarkScheduleRun(b *testing.B) {
 func BenchmarkScheduleFanout(b *testing.B) {
 	var e Engine
 	for i := 0; i < b.N; i++ {
-		e.Schedule(e.Now()+Cycle(i%1024), func() {})
+		e.At(e.Now()+Cycle(i%1024), func() {})
 		if e.Pending() >= 1024 {
 			e.Run()
 		}

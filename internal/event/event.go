@@ -174,15 +174,45 @@ func (e *Engine) After(delta Cycle, fn Func) Handle {
 	return e.At(e.now+delta, fn)
 }
 
-// Schedule registers fn to run at absolute cycle at.
-//
-// Deprecated: use At, which additionally returns a cancelable Handle.
-func (e *Engine) Schedule(at Cycle, fn Func) { e.At(at, fn) }
-
-// ScheduleAfter registers fn to run delta cycles from now.
-//
-// Deprecated: use After, which additionally returns a cancelable Handle.
-func (e *Engine) ScheduleAfter(delta Cycle, fn Func) { e.After(delta, fn) }
+// Reset returns the engine to its power-on state in O(pending) time:
+// every queued record (live or canceled) is recycled into the free list
+// with its generation bumped, so stale Handles held by clients become
+// inert, and the clock, sequence counter, fired count and wheel cursor
+// return to zero. The record arena and scratch buffers are retained, so
+// a reset engine schedules with zero allocations from the first event.
+// Only occupied wheel slots are visited (found via the occupancy
+// bitmaps); the 768 empty buckets of a drained wheel cost nothing.
+func (e *Engine) Reset() {
+	for level := 0; level < wheelLevels; level++ {
+		for w := range e.occ[level] {
+			word := e.occ[level][w]
+			for word != 0 {
+				slot := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				b := &e.wheel[level][slot]
+				for r := b.head; r != nil; {
+					next := r.next
+					e.recycle(r)
+					r = next
+				}
+				b.head, b.tail, b.lastSeq, b.unsorted = nil, nil, 0, false
+			}
+			e.occ[level][w] = 0
+		}
+	}
+	for i, r := range e.front {
+		e.recycle(r)
+		e.front[i] = nil
+	}
+	e.front = e.front[:0]
+	for i, r := range e.overflow {
+		e.recycle(r)
+		e.overflow[i] = nil
+	}
+	e.overflow = e.overflow[:0]
+	e.now, e.seq, e.fired = 0, 0, 0
+	e.pending, e.stopped, e.wheelBase = 0, false, 0
+}
 
 func (e *Engine) newRecord() *record {
 	r := e.free

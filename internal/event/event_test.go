@@ -9,9 +9,9 @@ import (
 func TestScheduleOrdering(t *testing.T) {
 	var e Engine
 	var got []int
-	e.Schedule(10, func() { got = append(got, 10) })
-	e.Schedule(5, func() { got = append(got, 5) })
-	e.Schedule(7, func() { got = append(got, 7) })
+	e.At(10, func() { got = append(got, 10) })
+	e.At(5, func() { got = append(got, 5) })
+	e.At(7, func() { got = append(got, 7) })
 	e.Run()
 	want := []int{5, 7, 10}
 	if len(got) != len(want) {
@@ -32,7 +32,7 @@ func TestSameCycleFIFO(t *testing.T) {
 	var got []int
 	for i := 0; i < 100; i++ {
 		i := i
-		e.Schedule(42, func() { got = append(got, i) })
+		e.At(42, func() { got = append(got, i) })
 	}
 	e.Run()
 	if !sort.IntsAreSorted(got) {
@@ -42,14 +42,14 @@ func TestSameCycleFIFO(t *testing.T) {
 
 func TestScheduleInPastPanics(t *testing.T) {
 	var e Engine
-	e.Schedule(5, func() {})
+	e.At(5, func() {})
 	e.Run()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("scheduling in the past did not panic")
 		}
 	}()
-	e.Schedule(1, func() {})
+	e.At(1, func() {})
 }
 
 func TestNilCallbackPanics(t *testing.T) {
@@ -59,15 +59,15 @@ func TestNilCallbackPanics(t *testing.T) {
 			t.Fatal("nil callback did not panic")
 		}
 	}()
-	e.Schedule(1, nil)
+	e.At(1, nil)
 }
 
 func TestRunUntil(t *testing.T) {
 	var e Engine
 	fired := 0
-	e.Schedule(3, func() { fired++ })
-	e.Schedule(8, func() { fired++ })
-	e.Schedule(20, func() { fired++ })
+	e.At(3, func() { fired++ })
+	e.At(8, func() { fired++ })
+	e.At(20, func() { fired++ })
 	e.RunUntil(10)
 	if fired != 2 {
 		t.Fatalf("fired %d events by cycle 10, want 2", fired)
@@ -91,10 +91,10 @@ func TestScheduleAfterChains(t *testing.T) {
 	step = func() {
 		ticks = append(ticks, e.Now())
 		if len(ticks) < 5 {
-			e.ScheduleAfter(4, step)
+			e.After(4, step)
 		}
 	}
-	e.ScheduleAfter(4, step)
+	e.After(4, step)
 	e.Run()
 	for i, c := range ticks {
 		if want := Cycle(4 * (i + 1)); c != want {
@@ -107,7 +107,7 @@ func TestStop(t *testing.T) {
 	var e Engine
 	fired := 0
 	for i := 1; i <= 10; i++ {
-		e.Schedule(Cycle(i), func() {
+		e.At(Cycle(i), func() {
 			fired++
 			if fired == 3 {
 				e.Stop()
@@ -133,7 +133,7 @@ func TestStepOnEmpty(t *testing.T) {
 func TestFiredCounter(t *testing.T) {
 	var e Engine
 	for i := 0; i < 17; i++ {
-		e.Schedule(Cycle(i), func() {})
+		e.At(Cycle(i), func() {})
 	}
 	e.Run()
 	if e.Fired() != 17 {
@@ -200,7 +200,7 @@ func TestQuickMonotonicClock(t *testing.T) {
 			if c > max {
 				max = c
 			}
-			e.Schedule(c, func() { fireOrder = append(fireOrder, e.Now()) })
+			e.At(c, func() { fireOrder = append(fireOrder, e.Now()) })
 		}
 		e.Run()
 		for i := 1; i < len(fireOrder); i++ {
@@ -219,8 +219,8 @@ func TestEveryFiresPeriodicallyUntilCancelled(t *testing.T) {
 	var e Engine
 	var fired []Cycle
 	cancel := e.Every(10, func() { fired = append(fired, e.Now()) })
-	e.Schedule(35, func() { cancel() })
-	e.Schedule(100, func() {}) // keeps the clock advancing past the cancel
+	e.At(35, func() { cancel() })
+	e.At(100, func() {}) // keeps the clock advancing past the cancel
 	e.Run()
 	want := []Cycle{10, 20, 30}
 	if len(fired) != len(want) {
@@ -247,7 +247,7 @@ func TestEveryDoesNotReorderSameCycleEvents(t *testing.T) {
 		}
 		for i := 0; i < 20; i++ {
 			i := i
-			e.Schedule(Cycle(5*(i%4)), func() { order = append(order, i) })
+			e.At(Cycle(5*(i%4)), func() { order = append(order, i) })
 		}
 		e.RunUntil(16) // the live periodic event means Run would never drain
 		return order

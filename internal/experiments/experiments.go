@@ -76,15 +76,6 @@ func (o Options) seed() int64 {
 	return o.Seed
 }
 
-// runCfg runs an explicit configuration on the given benchmarks.
-func runCfg(cfg config.SystemConfig, benches []string, seed int64) (system.Results, error) {
-	sys, err := system.New(cfg, benches, seed)
-	if err != nil {
-		return system.Results{}, err
-	}
-	return sys.Run(), nil
-}
-
 // weightedSpeedup is a convenience wrapper over system.WeightedSpeedup.
 func weightedSpeedup(r system.Results, alone map[string]float64) float64 {
 	return system.WeightedSpeedup(r.PerCore, alone)

@@ -56,20 +56,25 @@ func (o Options) multiCell(exp string, mech config.Mechanism, mixName string, be
 // runCells executes the cells across the worker pool and returns their
 // results in cell order. Per-cell seeds come from sweep.CellSeed, so
 // the result set is identical for every worker count; each outcome is
-// also pushed to the Recorder for the -json report.
+// also pushed to the Recorder for the -json report. Each worker keeps
+// one system.Pool, so consecutive same-geometry cells reuse a reset
+// machine instead of rebuilding one (results stay bit-identical either
+// way — set DBISIM_NO_POOL to force fresh construction per cell).
 func (o Options) runCells(cells []simCell) ([]system.Results, error) {
-	sc := make([]sweep.Cell[system.Results], len(cells))
+	sc := make([]sweep.StateCell[system.Results, system.Pool], len(cells))
 	seeds := make([]int64, len(cells))
 	for i := range cells {
 		c := cells[i]
 		seed := sweep.CellSeed(o.seed(), c.key.Benchmark, c.key.Mechanism, c.key.Run)
 		seeds[i] = seed
-		sc[i] = sweep.Cell[system.Results]{
+		sc[i] = sweep.StateCell[system.Results, system.Pool]{
 			Key: c.key,
-			Run: func() (system.Results, error) { return runCfg(c.cfg, c.benches, seed) },
+			Run: func(p *system.Pool) (system.Results, error) {
+				return p.Run(c.cfg, c.benches, seed)
+			},
 		}
 	}
-	outs, err := sweep.RunWithProgress(sc, o.workers(), o.Progress)
+	outs, err := sweep.RunState(sc, o.workers(), o.Progress)
 	if err != nil {
 		return nil, err
 	}

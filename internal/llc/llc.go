@@ -58,8 +58,12 @@ type Stats struct {
 // (optional harvests) additionally rate-limit their lookups so filler
 // traffic cannot saturate the tag port; must-run jobs (DBI evictions)
 // proceed as fast as the port grants them.
+// The job owns its blocks slice: enqueueScan takes ownership, and the
+// scanner returns the buffer to the LLC's mate pool once the job drains
+// (idx advances instead of reslicing so the backing array survives).
 type scanJob struct {
 	blocks []addr.BlockAddr
+	idx    int
 	paced  bool
 	visit  func(addr.BlockAddr)
 }
@@ -111,6 +115,15 @@ type LLC struct {
 	scanWakeFn   event.Func
 	tagFree      *tagReq
 
+	// mateFree recycles harvest candidate buffers (row-mate lists, DBI
+	// eviction drains, flush scratch) so the steady-state harvest paths
+	// stop allocating a slice per dirty eviction.
+	mateFree [][]addr.BlockAddr
+
+	// fillFree recycles memory-fill requests so an LLC miss issues no
+	// new closure on its way to DRAM.
+	fillFree *fillReq
+
 	// Prebound harvest visitors (each captures only the LLC).
 	dbiEvictVisit func(addr.BlockAddr)
 	dawbVisit     func(addr.BlockAddr)
@@ -153,6 +166,26 @@ func (l *LLC) putReq(rr *tagReq) {
 	rr.done = nil
 	rr.next = l.tagFree
 	l.tagFree = rr
+}
+
+// getMates returns a zero-length candidate buffer from the pool (nil
+// when the pool is empty; append grows it once and the buffer then
+// recirculates at full size).
+func (l *LLC) getMates() []addr.BlockAddr {
+	if n := len(l.mateFree); n > 0 {
+		s := l.mateFree[n-1]
+		l.mateFree[n-1] = nil
+		l.mateFree = l.mateFree[:n-1]
+		return s
+	}
+	return nil
+}
+
+func (l *LLC) putMates(s []addr.BlockAddr) {
+	if cap(s) == 0 {
+		return
+	}
+	l.mateFree = append(l.mateFree, s[:0])
 }
 
 // scanQueueCap bounds the number of queued harvest rows.
@@ -350,6 +383,53 @@ func (rr *tagReq) lookupDone() {
 	l.fetch(b, done, true, thread)
 }
 
+// fillReq is a pooled memory-fill request with its callback bound once
+// at allocation. Merged fills complete the MSHR entry on arrival;
+// unmerged (MSHR-full) fills invoke done directly.
+type fillReq struct {
+	b        addr.BlockAddr
+	thread   int
+	allocate bool
+	merged   bool
+	done     func()
+	fn       func()
+	next     *fillReq
+}
+
+// getFill takes a fill record from the free list, binding its callback
+// only on first allocation.
+func (l *LLC) getFill(b addr.BlockAddr, thread int, allocate, merged bool, done func()) *fillReq {
+	r := l.fillFree
+	if r == nil {
+		r = &fillReq{}
+		r.fn = func() { l.completeFill(r) }
+	} else {
+		l.fillFree = r.next
+	}
+	r.next = nil
+	r.b, r.thread, r.allocate, r.merged, r.done = b, thread, allocate, merged, done
+	return r
+}
+
+// completeFill runs when the memory read arrives. The record is
+// recycled before the fill executes: completing the MSHR entry wakes
+// demand waiters that may synchronously issue the next miss and reuse
+// it, so all state is copied out first.
+func (l *LLC) completeFill(r *fillReq) {
+	b, thread, allocate, merged, done := r.b, r.thread, r.allocate, r.merged, r.done
+	r.done = nil
+	r.next = l.fillFree
+	l.fillFree = r
+	if allocate {
+		l.fill(b, thread)
+	}
+	if merged {
+		l.mshr.Complete(uint64(b))
+	} else {
+		done()
+	}
+}
+
 // fetch issues the memory read (with MSHR merging) and optionally
 // allocates the block on fill.
 func (l *LLC) fetch(b addr.BlockAddr, done func(), allocate bool, thread int) {
@@ -361,21 +441,11 @@ func (l *LLC) fetch(b addr.BlockAddr, done func(), allocate bool, thread int) {
 	if l.mshr.Full() {
 		// No MSHR available: issue an unmerged fill (counted; rare).
 		l.Stat.MSHRMergeSkips.Inc()
-		l.mem.Read(b, func() {
-			if allocate {
-				l.fill(b, thread)
-			}
-			done()
-		})
+		l.mem.Read(b, l.getFill(b, thread, allocate, false, done).fn)
 		return
 	}
 	l.mshr.Register(key, done)
-	l.mem.Read(b, func() {
-		if allocate {
-			l.fill(b, thread)
-		}
-		l.mshr.Complete(key)
-	})
+	l.mem.Read(b, l.getFill(b, thread, allocate, true, nil).fn)
 }
 
 // fill inserts a clean block fetched from memory and handles the victim.
@@ -437,7 +507,8 @@ func (l *LLC) dbiSetDirty(b addr.BlockAddr) {
 	if l.Trc != nil {
 		preInserts = l.DBI.Stat.EntryInserts.Value()
 	}
-	ev, evicted := l.DBI.SetDirty(b)
+	scratch := l.getMates()
+	ev, evicted := l.DBI.SetDirtyInto(b, scratch)
 	if l.Trc != nil {
 		now := uint64(l.Eng.Now())
 		if l.DBI.Stat.EntryInserts.Value() > preInserts {
@@ -449,20 +520,25 @@ func (l *LLC) dbiSetDirty(b addr.BlockAddr) {
 		}
 	}
 	if !evicted {
+		l.putMates(scratch)
 		return
 	}
 	l.enqueueScan(ev.Blocks, true, l.dbiEvictVisit)
 }
 
-// enqueueScan adds a row's candidate blocks to the scan queue. must
-// marks correctness-critical jobs (DBI evictions) that may not be
-// dropped when the queue is full and are not rate-limited.
+// enqueueScan adds a row's candidate blocks to the scan queue, taking
+// ownership of the slice (it is recycled through the mate pool once the
+// job drains or drops). must marks correctness-critical jobs (DBI
+// evictions) that may not be dropped when the queue is full and are not
+// rate-limited.
 func (l *LLC) enqueueScan(blocks []addr.BlockAddr, must bool, visit func(addr.BlockAddr)) {
 	if len(blocks) == 0 {
+		l.putMates(blocks)
 		return
 	}
 	if !must && len(l.scanQ) >= scanQueueCap {
 		l.Stat.ScanDrops.Inc()
+		l.putMates(blocks)
 		return
 	}
 	job := scanJob{blocks: blocks, paced: !must, visit: visit}
@@ -488,8 +564,12 @@ func (l *LLC) pumpScan() {
 	if l.scanning || l.scanWake {
 		return
 	}
-	for len(l.scanQ) > 0 && len(l.scanQ[0].blocks) == 0 {
-		l.scanQ = l.scanQ[1:]
+	for len(l.scanQ) > 0 && l.scanQ[0].idx == len(l.scanQ[0].blocks) {
+		l.putMates(l.scanQ[0].blocks)
+		n := len(l.scanQ)
+		copy(l.scanQ, l.scanQ[1:])
+		l.scanQ[n-1] = scanJob{}
+		l.scanQ = l.scanQ[:n-1]
 	}
 	if len(l.scanQ) == 0 {
 		return
@@ -503,9 +583,9 @@ func (l *LLC) pumpScan() {
 	}
 	// Copy the in-flight lookup's state out of the queue (insertions may
 	// shift elements) onto the LLC: only one scan is in flight at a time.
-	l.curScanBlock = job.blocks[0]
+	l.curScanBlock = job.blocks[job.idx]
 	l.curScanVisit = job.visit
-	job.blocks = job.blocks[1:]
+	job.idx++
 	if job.paced {
 		l.nextScanAt = now + scanInterval
 	}
@@ -546,7 +626,7 @@ func (l *LLC) handleEviction(victim cache.Block) {
 // inflation of Figure 6c.
 func (l *LLC) harvestDAWB(b addr.BlockAddr) {
 	row := l.Geo.RowOf(b)
-	mates := make([]addr.BlockAddr, 0, l.Geo.BlocksPerRow()-1)
+	mates := l.getMates()
 	for col := 0; col < l.Geo.BlocksPerRow(); col++ {
 		if mate := l.Geo.BlockInRow(row, col); mate != b {
 			mates = append(mates, mate)
@@ -561,7 +641,7 @@ func (l *LLC) harvestDAWB(b addr.BlockAddr) {
 // are written back.
 func (l *LLC) harvestVWQ(b addr.BlockAddr) {
 	row := l.Geo.RowOf(b)
-	var mates []addr.BlockAddr
+	mates := l.getMates()
 	for col := 0; col < l.Geo.BlocksPerRow(); col++ {
 		mate := l.Geo.BlockInRow(row, col)
 		if mate == b {
@@ -579,11 +659,13 @@ func (l *LLC) harvestVWQ(b addr.BlockAddr) {
 // one DBI query yields exactly the dirty row-mates, so the tag store is
 // looked up only for blocks that are actually dirty.
 func (l *LLC) harvestAWB(b addr.BlockAddr) {
-	var mates []addr.BlockAddr
-	for _, mate := range l.DBI.DirtyBlocksInRegion(b) {
-		if mate != b {
-			mates = append(mates, mate)
+	mates := l.DBI.DirtyBlocksInRegionInto(b, l.getMates())
+	for i := 0; i < len(mates); {
+		if mates[i] == b {
+			mates = append(mates[:i], mates[i+1:]...)
+			continue
 		}
+		i++
 	}
 	if len(mates) > 0 {
 		// One AWB aggregated-writeback drain: a whole row's dirty mates
@@ -634,10 +716,41 @@ func (l *LLC) Flush() int {
 		}
 		return n
 	}
-	for _, b := range l.Cache.DirtyBlocks() {
+	dirty := l.Cache.DirtyBlocksInto(l.getMates())
+	for _, b := range dirty {
 		l.Cache.SetDirty(b, false)
 		l.mem.Write(b)
 		n++
 	}
+	l.putMates(dirty)
 	return n
+}
+
+// Reset returns the LLC and everything it owns — tag store, port, DBI,
+// miss predictor, MSHR file, scan machinery — to power-on state, with
+// the same seed derivation New uses (the cache takes seed, the DBI
+// seed+1). The caller must reset the engine first so no port-completion
+// or scan-wake event from the previous run can fire. Pooled scratch
+// (tag requests, harvest buffers, MSHR waiter slices) is retained.
+func (l *LLC) Reset(seed int64) {
+	l.Cache.Reset(seed)
+	l.Port.Reset()
+	if l.DBI != nil {
+		l.DBI.Reset(seed + 1)
+	}
+	if l.Pred != nil {
+		l.Pred.Reset()
+	}
+	l.mshr.Reset()
+	for i := range l.scanQ {
+		l.putMates(l.scanQ[i].blocks)
+		l.scanQ[i] = scanJob{}
+	}
+	l.scanQ = l.scanQ[:0]
+	l.scanning = false
+	l.nextScanAt = 0
+	l.scanWake = false
+	l.curScanBlock = 0
+	l.curScanVisit = nil
+	l.Stat = Stats{}
 }

@@ -18,7 +18,7 @@ type fakeMem struct {
 
 func (m *fakeMem) Read(b addr.BlockAddr, done func()) {
 	m.reads = append(m.reads, b)
-	m.eng.ScheduleAfter(m.lat, done)
+	m.eng.After(m.lat, done)
 }
 
 func (m *fakeMem) Write(b addr.BlockAddr) { m.writes = append(m.writes, b) }
@@ -350,7 +350,7 @@ func TestCLBBypassesCleanPredictedMisses(t *testing.T) {
 		eng.Run()
 	}
 	// Cross the epoch boundary.
-	eng.Schedule(eng.Now()+event.Cycle(sys.MissPred.EpochCycles), func() {})
+	eng.At(eng.Now()+event.Cycle(sys.MissPred.EpochCycles), func() {})
 	eng.Run()
 	lookupsBefore := l.TagLookups()
 	// A predicted-miss access to a non-sampled set bypasses the lookup.
@@ -387,7 +387,7 @@ func TestCLBDoesNotBypassDirty(t *testing.T) {
 		l.Read(addr.BlockAddr(i*256*8), 0, nil)
 		eng.Run()
 	}
-	eng.Schedule(eng.Now()+event.Cycle(sys.MissPred.EpochCycles), func() {})
+	eng.At(eng.Now()+event.Cycle(sys.MissPred.EpochCycles), func() {})
 	eng.Run()
 	served := false
 	l.Read(dirty, 0, func() { served = true })

@@ -26,6 +26,12 @@ type Policy interface {
 	OnMiss(set, thread int)
 	// Victim returns the way to evict from a full set.
 	Victim(set int) int
+	// Reset returns the policy to the state a fresh construction with the
+	// given seed would have, reusing its arrays. Recency stamps and RRPVs
+	// are restored to their exact power-on values (not merely offset):
+	// stale values would leak through tie-breaks and demotion minima and
+	// break the fresh-vs-reset bit-identity the sweep pool depends on.
+	Reset(seed int64)
 }
 
 // lruState holds per-block recency stamps; higher is more recent.
@@ -58,6 +64,13 @@ func (s *lruState) demote(set, way int) {
 	s.stamps[set*s.ways+way] = min - 1
 }
 
+func (s *lruState) reset() {
+	for i := range s.stamps {
+		s.stamps[i] = 0
+	}
+	s.clock = 0
+}
+
 func (s *lruState) victim(set int) int {
 	best, bestStamp := 0, s.stamps[set*s.ways]
 	for w := 1; w < s.ways; w++ {
@@ -88,6 +101,9 @@ func (l *LRU) OnMiss(set, thread int) {}
 
 // Victim implements Policy.
 func (l *LRU) Victim(set int) int { return l.s.victim(set) }
+
+// Reset implements Policy (seed unused: LRU has no random component).
+func (l *LRU) Reset(seed int64) { l.s.reset() }
 
 // TADIP is the thread-aware dynamic insertion policy [Jaleel+, PACT'08;
 // Qureshi+, ISCA'07]: each thread duels LRU insertion against bimodal
@@ -211,6 +227,16 @@ func (d *TADIP) Insert(set, way, thread int) {
 // Victim implements Policy.
 func (d *TADIP) Victim(set int) int { return d.s.victim(set) }
 
+// Reset implements Policy: recency cleared, selectors back to neutral,
+// rng reseeded to the same stream construction with seed yields.
+func (d *TADIP) Reset(seed int64) {
+	d.s.reset()
+	for i := range d.psel {
+		d.psel[i] = d.pselMax / 2
+	}
+	d.rng.Seed(seed)
+}
+
 // PSEL exposes the selector value for a thread (for tests/diagnostics).
 func (d *TADIP) PSEL(thread int) int { return d.psel[thread%len(d.psel)] }
 
@@ -228,6 +254,12 @@ func newRRIPState(sets, ways int, bits int) *rripState {
 		r.rrpv[i] = max
 	}
 	return r
+}
+
+func (r *rripState) reset() {
+	for i := range r.rrpv {
+		r.rrpv[i] = r.max
+	}
 }
 
 func (r *rripState) victim(set int) int {
@@ -342,6 +374,15 @@ func (d *DRRIP) Insert(set, way, thread int) {
 
 // Victim implements Policy.
 func (d *DRRIP) Victim(set int) int { return d.r.victim(set) }
+
+// Reset implements Policy.
+func (d *DRRIP) Reset(seed int64) {
+	d.r.reset()
+	for i := range d.psel {
+		d.psel[i] = d.pselMax / 2
+	}
+	d.rng.Seed(seed)
+}
 
 // Config bundles what caches need to construct a policy by kind.
 type Config struct {

@@ -127,6 +127,16 @@ func (h *Histogram) Observe(v int) {
 	h.buckets[v]++
 }
 
+// Reset discards all observed samples, keeping the bucket layout. It is
+// the histogram half of the simulator-wide Reset protocol: components
+// zero their counters and Reset their histograms instead of reallocating.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count, h.sum = 0, 0
+}
+
 // Count returns the number of samples observed.
 func (h *Histogram) Count() uint64 { return h.count }
 

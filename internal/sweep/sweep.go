@@ -67,6 +67,18 @@ type Cell[T any] struct {
 	Run func() (T, error)
 }
 
+// StateCell is a Cell whose Run receives the worker's reusable state: a
+// zero-valued W each worker goroutine owns for its lifetime and passes
+// to every cell it executes. It is the hook for pooling expensive
+// per-worker resources (a reusable simulated machine, scratch arenas)
+// across cells. The determinism contract extends to W: a cell's result
+// must be independent of which worker — and therefore which W, in
+// whatever state previous cells left it — runs it.
+type StateCell[T, W any] struct {
+	Key Key
+	Run func(w *W) (T, error)
+}
+
 // Outcome pairs a cell's result with its identity and wall-clock cost.
 type Outcome[T any] struct {
 	Key     Key
@@ -88,6 +100,23 @@ func Run[T any](cells []Cell[T], workers int) ([]Outcome[T], error) {
 // goroutine, so it must be safe for concurrent use (an atomic counter
 // plus stderr writes in practice). A nil progress reproduces Run.
 func RunWithProgress[T any](cells []Cell[T], workers int, progress func(done, total int)) ([]Outcome[T], error) {
+	sc := make([]StateCell[T, struct{}], len(cells))
+	for i, c := range cells {
+		run := c.Run
+		sc[i] = StateCell[T, struct{}]{
+			Key: c.Key,
+			Run: func(*struct{}) (T, error) { return run() },
+		}
+	}
+	return RunState(sc, workers, progress)
+}
+
+// RunState is the stateful-worker generalization behind Run and
+// RunWithProgress: each of the `workers` goroutines owns one zero-valued
+// W and hands a pointer to it to every cell it executes. Scheduling,
+// ordering, failure and progress semantics are identical to
+// RunWithProgress.
+func RunState[T, W any](cells []StateCell[T, W], workers int, progress func(done, total int)) ([]Outcome[T], error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -105,12 +134,13 @@ func RunWithProgress[T any](cells []Cell[T], workers int, progress func(done, to
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var state W
 			for i := range idx {
 				if failed.Load() {
 					continue
 				}
 				start := time.Now()
-				v, err := cells[i].Run()
+				v, err := cells[i].Run(&state)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

@@ -14,9 +14,9 @@ import (
 //		system.WithTimeSeries(epoch),
 //		system.WithMetrics(reg))
 //
-// A System built with options is fully configured when New returns;
-// the deprecated AttachTracer/EnableTimeSeries mutators remain only as
-// shims for one release.
+// A System built with options is fully configured when New returns.
+// (The AttachTracer/EnableTimeSeries mutator shims these options
+// replaced have been removed.)
 type Option func(*options)
 
 type options struct {

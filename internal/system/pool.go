@@ -1,0 +1,52 @@
+package system
+
+import (
+	"os"
+
+	"dbisim/internal/config"
+)
+
+// NoPoolEnv, when set to any non-empty value, disables System reuse:
+// every Pool.Run builds a fresh System. It is the escape hatch for
+// bisecting a suspected reset bug and the lever CI uses to smoke both
+// paths.
+const NoPoolEnv = "DBISIM_NO_POOL"
+
+// Pool keeps one reusable System for a single sweep worker. When the
+// next cell's config has the same geometry signature as the pooled
+// machine, the machine is Reset in place — O(touched state), no
+// allocation; on a signature mismatch (or any reset refusal) the pool
+// falls back to building a fresh System and keeps that one instead.
+//
+// A Pool is NOT safe for concurrent use: each worker goroutine owns its
+// own Pool, mirroring how each worker previously built its own Systems.
+// The zero value is ready to use.
+type Pool struct {
+	sys *System
+	sig config.SystemConfig
+}
+
+// Run executes one cell — warmup plus measurement — on the pooled
+// machine, building or rebuilding it as needed. Results are
+// bit-identical to New(cfg, benches, seed).Run() regardless of what the
+// pool ran before.
+func (p *Pool) Run(cfg config.SystemConfig, benches []string, seed int64) (Results, error) {
+	if os.Getenv(NoPoolEnv) != "" {
+		sys, err := New(cfg, benches, seed)
+		if err != nil {
+			return Results{}, err
+		}
+		return sys.Run(), nil
+	}
+	if p.sys != nil && p.sig == Signature(cfg) {
+		if err := p.sys.Reset(cfg, benches, seed); err == nil {
+			return p.sys.Run(), nil
+		}
+	}
+	sys, err := New(cfg, benches, seed)
+	if err != nil {
+		return Results{}, err
+	}
+	p.sys, p.sig = sys, Signature(cfg)
+	return sys.Run(), nil
+}

@@ -31,6 +31,7 @@ type System struct {
 	Cores []*cpu.Core
 
 	benchNames []string
+	gens       []trace.Generator // per-core generators, kept for Reset
 	snap       snapshot
 
 	tracer  *telemetry.Tracer
@@ -119,6 +120,7 @@ func New(cfg config.SystemConfig, benches []string, seed int64, opts ...Option) 
 		if err != nil {
 			return nil, err
 		}
+		s.gens = append(s.gens, gen)
 		s.Cores = append(s.Cores, core)
 	}
 	var o options
@@ -131,16 +133,73 @@ func New(cfg config.SystemConfig, benches []string, seed int64, opts ...Option) 
 	return s, nil
 }
 
-// AttachTracer wires a request-lifecycle tracer into every component
-// after construction; a nil tracer detaches.
-//
-// Deprecated: pass WithTracer to New instead.
-func (s *System) AttachTracer(t *telemetry.Tracer) { s.attachTracer(t) }
+// Signature returns the geometry signature of a config: everything that
+// determines allocated structure shape — cache organizations, DBI and
+// predictor parameters, DRAM timing, core count, mechanism — i.e. the
+// config with only the run-length budgets zeroed. Two configs with equal
+// signatures can share one System through Reset.
+func Signature(cfg config.SystemConfig) config.SystemConfig {
+	cfg.WarmupInstructions = 0
+	cfg.MeasureInstructions = 0
+	return cfg
+}
 
-// attachTracer is the tracer wiring shared by WithTracer and the
-// deprecated AttachTracer. Tracing must never change simulated behavior
-// — TestTelemetryDoesNotPerturbResults holds Run's Results bit-identical
-// with and without it.
+// Reset returns the whole machine to power-on state for a new run
+// without reallocating any of its structures, exactly as if it had been
+// freshly built by New(cfg, benches, seed): same seed derivations, same
+// event numbering (the DRAM refresh is re-armed first, as in
+// construction), so a reset-then-Run is bit-identical to a fresh
+// System's Run. cfg may differ from the construction config only in its
+// warmup/measure budgets (Signature must match); benches may change
+// freely. Systems with telemetry options attached refuse to reset —
+// tracers and samplers accumulate host-side state a reset cannot
+// unwind — as do systems whose cores were built with a non-resettable
+// trace generator. On error the system is untouched.
+func (s *System) Reset(cfg config.SystemConfig, benches []string, seed int64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(benches) != cfg.NumCores {
+		return fmt.Errorf("system: %d benchmarks for %d cores", len(benches), cfg.NumCores)
+	}
+	if Signature(cfg) != Signature(s.Cfg) {
+		return fmt.Errorf("system: reset requires matching geometry signatures")
+	}
+	if s.tracer != nil || s.sampler != nil {
+		return fmt.Errorf("system: cannot reset with telemetry attached")
+	}
+	profiles := make([]trace.Profile, len(benches))
+	for i, b := range benches {
+		p, err := trace.ByName(b)
+		if err != nil {
+			return err
+		}
+		profiles[i] = p
+	}
+	resetters := make([]trace.Resetter, len(s.gens))
+	for i, g := range s.gens {
+		r, ok := g.(trace.Resetter)
+		if !ok {
+			return fmt.Errorf("system: core %d generator is not resettable", i)
+		}
+		resetters[i] = r
+	}
+	s.Cfg = cfg
+	s.Eng.Reset()
+	s.Mem.Reset()
+	s.LLC.Reset(seed)
+	for i, c := range s.Cores {
+		resetters[i].Reset(profiles[i], addr.Addr(uint64(i+1)<<36), seed+int64(i)*131)
+		c.Reset(seed + int64(i)*977)
+	}
+	s.benchNames = append(s.benchNames[:0], benches...)
+	s.snap = snapshot{}
+	return nil
+}
+
+// attachTracer is the tracer wiring behind WithTracer. Tracing must
+// never change simulated behavior — TestTelemetryDoesNotPerturbResults
+// holds Run's Results bit-identical with and without it.
 func (s *System) attachTracer(t *telemetry.Tracer) {
 	s.tracer = t
 	s.Mem.Trc = t
@@ -159,19 +218,6 @@ func (s *System) attachTracer(t *telemetry.Tracer) {
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
-
-// EnableTimeSeries registers every component's metrics and arms an
-// epoch sampler after construction.
-//
-// Deprecated: pass WithTimeSeries to New instead (and Sampler to
-// retrieve the armed sampler).
-func (s *System) EnableTimeSeries(epochCycles uint64) *telemetry.Sampler {
-	reg := telemetry.NewRegistry()
-	s.registerComponentMetrics(reg)
-	s.registerSelfMetrics(reg)
-	s.sampler = telemetry.NewSampler(reg, epochCycles)
-	return s.sampler
-}
 
 // registerComponentMetrics adds every component's probes to a registry.
 func (s *System) registerComponentMetrics(reg *telemetry.Registry) {

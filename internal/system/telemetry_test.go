@@ -32,12 +32,12 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 	}
 	want := plain.Run()
 
-	traced, err := New(cfg, benches, 42)
+	traced, err := New(cfg, benches, 42,
+		WithTracer(telemetry.NewTracer(1<<16)), WithTimeSeries(10_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	traced.AttachTracer(telemetry.NewTracer(1 << 16))
-	smp := traced.EnableTimeSeries(10_000)
+	smp := traced.Sampler()
 	got := traced.Run()
 
 	if !reflect.DeepEqual(want, got) {
@@ -56,12 +56,11 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 // instants from a DBI+AWB+CLB run, serializable as valid JSON.
 func TestTraceContainsLifecycleEvents(t *testing.T) {
 	cfg, benches := telemetryCfg()
-	sys, err := New(cfg, benches, 42)
+	trc := telemetry.NewTracer(1 << 16)
+	sys, err := New(cfg, benches, 42, WithTracer(trc))
 	if err != nil {
 		t.Fatal(err)
 	}
-	trc := telemetry.NewTracer(1 << 16)
-	sys.AttachTracer(trc)
 	sys.Run()
 
 	want := map[string]bool{
@@ -108,11 +107,11 @@ func TestTraceContainsLifecycleEvents(t *testing.T) {
 // dirty-at-eviction histogram tracked.
 func TestTimeSeriesCoversRun(t *testing.T) {
 	cfg, benches := telemetryCfg()
-	sys, err := New(cfg, benches, 42)
+	sys, err := New(cfg, benches, 42, WithTimeSeries(10_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	smp := sys.EnableTimeSeries(10_000)
+	smp := sys.Sampler()
 	sys.Run()
 
 	ts := smp.Series()
@@ -157,11 +156,11 @@ func TestTimeSeriesCoversRun(t *testing.T) {
 // rates must be positive.
 func TestSelfMetricsReportThroughput(t *testing.T) {
 	cfg, benches := telemetryCfg()
-	sys, err := New(cfg, benches, 42)
+	sys, err := New(cfg, benches, 42, WithTimeSeries(10_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	smp := sys.EnableTimeSeries(10_000)
+	smp := sys.Sampler()
 	sys.Run()
 
 	ts := smp.Series()

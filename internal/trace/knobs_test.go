@@ -17,7 +17,7 @@ func TestStoreHotBiasConcentratesWrites(t *testing.T) {
 	rev := func(a addr.Addr) uint64 {
 		pblock := uint64(a) / 64
 		ppage := pblock / pageBlocks
-		for vp, pp := range g.pages {
+		for vp, pp := range g.pageMap() {
 			if pp == ppage {
 				return vp*pageBlocks + pblock%pageBlocks
 			}
@@ -64,7 +64,7 @@ func TestRepeatRunsSurviveBiasedStores(t *testing.T) {
 	}
 	// Translate back to virtual via page map and check monotone groups.
 	rev := map[uint64]uint64{}
-	for vp, pp := range g.pages {
+	for vp, pp := range g.pageMap() {
 		rev[pp] = vp
 	}
 	var virt []uint64

@@ -51,6 +51,15 @@ type Generator interface {
 	Next() Record
 }
 
+// Resetter is a Generator whose state can be returned to power-on for a
+// new profile, base and seed without reallocating its internal tables.
+// A reset generator produces the exact stream a freshly constructed one
+// would — the contract the sweep worker pool's reuse rests on.
+type Resetter interface {
+	Generator
+	Reset(p Profile, base addr.Addr, seed int64)
+}
+
 // Pattern describes one component of a benchmark's access mix.
 type Pattern int
 
@@ -151,9 +160,9 @@ type synth struct {
 	rng  *rand.Rand
 	base addr.Addr // base of this core's physical range
 
-	pages     map[uint64]uint64 // virtual page -> physical page index
-	usedPages map[uint64]bool
-	spanPages uint64 // physical pages available to this process
+	pt        pageTable // virtual page -> physical page index
+	used      bitset    // physical pages already handed out
+	spanPages uint64    // physical pages available to this process
 
 	blocks    uint64 // footprint size in blocks
 	hotBlocks uint64
@@ -167,10 +176,82 @@ type synth struct {
 	gapCarry     float64 // error-diffusion remainder keeping E[gap] exact
 }
 
+// pageTable is an open-addressed, linear-probed vpage→ppage map. Slot
+// validity is a generation stamp (gens[i] == gen), so reset is a single
+// counter bump instead of an O(capacity) clear, and the table is sized
+// to at most 50% load (every virtual page inserted once, no deletions),
+// keeping probe chains short. It replaces the Go map that dominated the
+// generator's translate profile.
+type pageTable struct {
+	mask uint64
+	gen  uint32
+	gens []uint32
+	keys []uint64
+	vals []uint64
+}
+
+// fibMix is the 64-bit Fibonacci-hashing multiplier (2^64/φ, odd).
+const fibMix = 0x9E3779B97F4A7C15
+
+// grow readies the table for vpages insertions: it reuses the backing
+// arrays when they are already big enough (bumping the generation) and
+// reallocates otherwise. Generation wraparound — one in 2^32 resets —
+// falls back to a hard clear so stale stamps can never alias.
+func (t *pageTable) grow(vpages uint64) {
+	need := uint64(8)
+	for need < 2*vpages {
+		need <<= 1
+	}
+	if uint64(len(t.keys)) < need {
+		t.keys = make([]uint64, need)
+		t.vals = make([]uint64, need)
+		t.gens = make([]uint32, need)
+		t.mask = need - 1
+		t.gen = 1
+		return
+	}
+	t.gen++
+	if t.gen == 0 {
+		for i := range t.gens {
+			t.gens[i] = 0
+		}
+		t.gen = 1
+	}
+}
+
+// bitset is a plain bit vector over physical page indices.
+type bitset struct{ words []uint64 }
+
+func (b *bitset) grow(n uint64) {
+	w := int((n + 63) / 64)
+	if w > len(b.words) {
+		b.words = make([]uint64, w)
+		return
+	}
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+func (b *bitset) test(i uint64) bool { return b.words[i>>6]&(1<<(i&63)) != 0 }
+func (b *bitset) set(i uint64)       { b.words[i>>6] |= 1 << (i & 63) }
+
 // New returns a deterministic generator for the profile. base offsets the
 // stream in physical memory (distinct cores get disjoint footprints) and
 // seed fixes the random components.
 func New(p Profile, base addr.Addr, seed int64) Generator {
+	s := &synth{}
+	s.Reset(p, base, seed)
+	return s
+}
+
+// Reset returns the generator to power-on state for a (possibly
+// different) profile, base and seed, reusing the page table and
+// used-page bitset allocations when the new footprint fits. The
+// resulting stream is bit-identical to New(p, base, seed)'s: the rng is
+// reseeded identically and translation behavior depends only on table
+// hit/miss, which the generation bump resets exactly like fresh maps.
+func (s *synth) Reset(p Profile, base addr.Addr, seed int64) {
 	blocks := p.FootprintBytes / 64
 	if blocks == 0 {
 		blocks = 1
@@ -191,17 +272,22 @@ func New(p Profile, base addr.Addr, seed int64) Generator {
 		rep = 1
 	}
 	vpages := (blocks + pageBlocks - 1) / pageBlocks
-	return &synth{
-		p:         p,
-		rng:       rand.New(rand.NewSource(seed)),
-		base:      base,
-		pages:     make(map[uint64]uint64),
-		usedPages: make(map[uint64]bool),
-		spanPages: 4 * vpages, // physical slack so placement stays random
-		blocks:    blocks,
-		hotBlocks: hot,
-		repeat:    rep,
-		meanGap:   1/mf - 1,
+	s.p = p
+	s.base = base
+	s.spanPages = 4 * vpages // physical slack so placement stays random
+	s.blocks = blocks
+	s.hotBlocks = hot
+	s.repeat = rep
+	s.meanGap = 1/mf - 1
+	s.seqCursor, s.strideCursor = 0, 0
+	s.curBlock, s.repLeft = 0, 0
+	s.gapCarry = 0
+	s.pt.grow(vpages)
+	s.used.grow(s.spanPages)
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(seed))
+	} else {
+		s.rng.Seed(seed)
 	}
 }
 
@@ -217,20 +303,28 @@ func (s *synth) Next() Record {
 }
 
 // translate maps a virtual block to a physical block through the
-// process's randomized page table, allocating on first touch.
+// process's randomized page table, allocating on first touch. The probe
+// loop doubles as the insertion scan: when it falls off the end of a
+// cluster (stale slot), vpage is absent and that very slot receives it.
 func (s *synth) translate(vblock uint64) uint64 {
 	vpage := vblock / pageBlocks
-	ppage, ok := s.pages[vpage]
-	if !ok {
-		for {
-			ppage = uint64(s.rng.Int63n(int64(s.spanPages)))
-			if !s.usedPages[ppage] {
-				break
-			}
+	t := &s.pt
+	i := (vpage * fibMix) & t.mask
+	for t.gens[i] == t.gen {
+		if t.keys[i] == vpage {
+			return t.vals[i]*pageBlocks + vblock%pageBlocks
 		}
-		s.usedPages[ppage] = true
-		s.pages[vpage] = ppage
+		i = (i + 1) & t.mask
 	}
+	var ppage uint64
+	for {
+		ppage = uint64(s.rng.Int63n(int64(s.spanPages)))
+		if !s.used.test(ppage) {
+			break
+		}
+	}
+	s.used.set(ppage)
+	t.gens[i], t.keys[i], t.vals[i] = t.gen, vpage, ppage
 	return ppage*pageBlocks + vblock%pageBlocks
 }
 
