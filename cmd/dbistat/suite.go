@@ -54,6 +54,20 @@ func suite(kind string, seed int64) []perfstat.Target {
 				_, err := experiments.CLBSensitivity(o)
 				return err
 			}),
+			macroTarget("macro/forked_clbsens", seed, func(o experiments.Options) error {
+				// Two passes per round: the first warms machines and
+				// takes warmup checkpoints, the second forks every cell
+				// from them (workers release their pools between sweeps,
+				// so the second pass adopts the first's warmed machines).
+				// The gate on this target is what pins the fork
+				// scheduler's warmup-amortization win.
+				for i := 0; i < 2; i++ {
+					if _, err := experiments.CLBSensitivity(o); err != nil {
+						return err
+					}
+				}
+				return nil
+			}),
 			macroTarget("macro/flushlat", seed, func(o experiments.Options) error {
 				// One Flush is sub-millisecond — below the host's
 				// scheduling-noise floor — so run a batch per round to

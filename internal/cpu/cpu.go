@@ -82,16 +82,22 @@ type Core struct {
 	// instruction issue loop allocation-free: the advance event after
 	// every instruction and the completion callback of every load reuse
 	// the same function values instead of capturing loop state.
+	// slotAll/sharedAll register every pooled record ever allocated so a
+	// checkpoint can enumerate the pools by index.
 	stepFn    event.Func
 	advanceFn event.Func
 	slotFree  *loadSlot
+	slotAll   []*loadSlot
+	sharedAll []*sharedReq
 
 	Stat Stats
 }
 
 type loadSlot struct {
+	id   int32 // position in slotAll
 	seq  uint64
 	done bool
+	live bool // scratch flag used by Restore's free-list rebuild
 	next *loadSlot
 	fn   event.Func // bound once: marks the slot done and resumes issue
 }
@@ -107,6 +113,8 @@ type sharedWaiter struct {
 // sharedReq is a pooled outstanding shared-level fetch; fn is bound
 // once at allocation so a miss schedules no new closure.
 type sharedReq struct {
+	id      int32 // position in sharedAll
+	live    bool  // scratch flag used by Restore's free-list rebuild
 	b       addr.BlockAddr
 	start   event.Cycle
 	waiters []sharedWaiter
@@ -151,11 +159,12 @@ func New(eng *event.Engine, id int, cfg config.SystemConfig, gen trace.Generator
 func (c *Core) getSlot() *loadSlot {
 	s := c.slotFree
 	if s == nil {
-		s = &loadSlot{}
+		s = &loadSlot{id: int32(len(c.slotAll))}
 		s.fn = func() {
 			s.done = true
 			c.resume()
 		}
+		c.slotAll = append(c.slotAll, s)
 	} else {
 		c.slotFree = s.next
 	}
@@ -175,8 +184,9 @@ func (c *Core) putSlot(s *loadSlot) {
 func (c *Core) getShared(b addr.BlockAddr) *sharedReq {
 	r := c.sharedFree
 	if r == nil {
-		r = &sharedReq{}
+		r = &sharedReq{id: int32(len(c.sharedAll))}
 		r.fn = func() { c.completeShared(r) }
+		c.sharedAll = append(c.sharedAll, r)
 	} else {
 		c.sharedFree = r.next
 	}
@@ -221,6 +231,22 @@ func (c *Core) Rebudget(budget uint64, onDone func()) {
 	c.startCycle = c.Eng.Now()
 	c.issuedAtStart = c.issued
 }
+
+// ResumeMeasure re-arms the budget of a core restored from a checkpoint
+// taken at the warmup→measure boundary. Unlike Rebudget it leaves the
+// measurement-window markers (startCycle, issuedAtStart) alone: those
+// were pinned at each core's own warmup completion and travel with the
+// checkpoint, so a forked measurement is timed from the same instant a
+// scratch run would be.
+func (c *Core) ResumeMeasure(budget uint64, onDone func()) {
+	c.budget = budget
+	c.onDone = onDone
+	c.done = false
+}
+
+// MeasuredSince returns the instructions issued since the current
+// measurement window opened.
+func (c *Core) MeasuredSince() uint64 { return c.issued - c.issuedAtStart }
 
 // Stop halts the core after its current event.
 func (c *Core) Stop() { c.stopped = true }

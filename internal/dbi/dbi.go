@@ -101,6 +101,7 @@ type DBI struct {
 	entries     []Entry
 	clock       uint64
 	rng         *rand.Rand
+	src         rand.Source // rng's source, retained for state capture
 
 	Stat Stats
 }
@@ -124,6 +125,7 @@ func New(geo addr.Geometry, prm config.DBIParams, cacheBlocks int, seed int64) (
 	for sets&(sets-1) != 0 {
 		sets &= sets - 1
 	}
+	src := rand.NewSource(seed)
 	d := &DBI{
 		geo:         geo,
 		prm:         prm,
@@ -131,7 +133,8 @@ func New(geo addr.Geometry, prm config.DBIParams, cacheBlocks int, seed int64) (
 		ways:        prm.Associativity,
 		granularity: prm.Granularity,
 		entries:     make([]Entry, sets*prm.Associativity),
-		rng:         rand.New(rand.NewSource(seed)),
+		rng:         rand.New(src),
+		src:         src,
 	}
 	d.regionShift = log2(uint64(prm.Granularity))
 	words := (prm.Granularity + 63) / 64

@@ -1,0 +1,76 @@
+package dbi
+
+import (
+	"dbisim/internal/randstate"
+	"dbisim/internal/stats"
+)
+
+// entryState mirrors one DBI entry without its bit-vector slice; the
+// vectors of all entries are flattened into State.bits, so a checkpoint
+// is two flat arrays instead of thousands of small slices.
+type entryState struct {
+	valid     bool
+	region    RegionID
+	lastWrite uint64
+	rwpv      uint8
+}
+
+// State is a checkpoint of a DBI: entries, bit vectors, the LRW clock,
+// the rng and the statistics (histogram included). The zero value is
+// ready; buffers are reused across captures.
+type State struct {
+	entries []entryState
+	bits    []uint64
+	clock   uint64
+	rng     randstate.State
+
+	lookups, writes, cleans               stats.Counter
+	entryInserts, evictions, evictionBlks stats.Counter
+	dirtyAtEviction                       stats.Histogram
+}
+
+// Snapshot captures the DBI into st.
+func (d *DBI) Snapshot(st *State) {
+	if len(st.entries) != len(d.entries) {
+		st.entries = make([]entryState, len(d.entries))
+	}
+	words := 0
+	if len(d.entries) > 0 {
+		words = len(d.entries[0].bits)
+	}
+	if len(st.bits) != len(d.entries)*words {
+		st.bits = make([]uint64, len(d.entries)*words)
+	}
+	for i := range d.entries {
+		e := &d.entries[i]
+		st.entries[i] = entryState{e.Valid, e.Region, e.lastWrite, e.rwpv}
+		copy(st.bits[i*words:(i+1)*words], e.bits)
+	}
+	st.clock = d.clock
+	randstate.MustSave(d.src, &st.rng)
+	s := &d.Stat
+	st.lookups, st.writes, st.cleans = s.Lookups, s.Writes, s.Cleans
+	st.entryInserts, st.evictions, st.evictionBlks = s.EntryInserts, s.Evictions, s.EvictionBlocks
+	st.dirtyAtEviction.CopyFrom(s.DirtyAtEviction)
+}
+
+// Restore writes st back into the DBI that produced it (identical
+// parameters; the system layer enforces the geometry match).
+func (d *DBI) Restore(st *State) {
+	words := 0
+	if len(d.entries) > 0 {
+		words = len(d.entries[0].bits)
+	}
+	for i := range d.entries {
+		e := &d.entries[i]
+		s := &st.entries[i]
+		e.Valid, e.Region, e.lastWrite, e.rwpv = s.valid, s.region, s.lastWrite, s.rwpv
+		copy(e.bits, st.bits[i*words:(i+1)*words])
+	}
+	d.clock = st.clock
+	randstate.MustRestore(d.src, &st.rng)
+	s := &d.Stat
+	s.Lookups, s.Writes, s.Cleans = st.lookups, st.writes, st.cleans
+	s.EntryInserts, s.Evictions, s.EvictionBlocks = st.entryInserts, st.evictions, st.evictionBlks
+	s.DirtyAtEviction.CopyFrom(&st.dirtyAtEviction)
+}

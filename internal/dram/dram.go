@@ -86,9 +86,12 @@ type Controller struct {
 	// Prebound callbacks and the transaction free list keep the bank
 	// service loop allocation-free: issuing, waking and refreshing reuse
 	// the same function values and pooled txn records run after run.
+	// txnAll registers every transaction ever allocated so a checkpoint
+	// can enumerate the pool; live distinguishes in-flight records.
 	wakeFn    event.Func
 	refreshFn event.Func
 	txnFree   *txn
+	txnAll    []*txn
 }
 
 // txn is a pooled in-flight transaction: its completion callbacks are
@@ -98,6 +101,7 @@ type txn struct {
 	c       *Controller
 	r       request
 	isWrite bool
+	live    bool // in flight (not on the free list); checkpoints save these
 	next    *txn
 	burstFn event.Func
 	dataFn  event.Func
@@ -109,14 +113,17 @@ func (c *Controller) getTxn() *txn {
 		t = &txn{c: c}
 		t.burstFn = t.burstDone
 		t.dataFn = t.dataDone
+		c.txnAll = append(c.txnAll, t)
 	} else {
 		c.txnFree = t.next
 	}
+	t.live = true
 	return t
 }
 
 func (c *Controller) putTxn(t *txn) {
 	t.r = request{}
+	t.live = false
 	t.next = c.txnFree
 	c.txnFree = t
 }
@@ -207,6 +214,16 @@ func (c *Controller) Reset() {
 	c.drainBurst = 0
 	c.busFreeAt = 0
 	c.kickAt = 0
+	// Reclaim transactions that were in flight when the engine dropped
+	// their completion events: rebuild the free list from the registry.
+	c.txnFree = nil
+	for i := len(c.txnAll) - 1; i >= 0; i-- {
+		t := c.txnAll[i]
+		t.live = false
+		t.r = request{}
+		t.next = c.txnFree
+		c.txnFree = t
+	}
 	h := c.Stat.DrainBurst
 	c.Stat = Stats{DrainBurst: h}
 	h.Reset()

@@ -1,0 +1,94 @@
+package dram
+
+import (
+	"dbisim/internal/event"
+	"dbisim/internal/stats"
+)
+
+// txnState records one in-flight transaction by its position in the
+// controller's transaction registry; the pooled record itself stays put
+// (pending engine events hold its prebound callbacks), only its
+// contents are saved and written back.
+type txnState struct {
+	idx     int
+	r       request
+	isWrite bool
+}
+
+// State is a checkpoint of a Controller: bank row buffers and timing
+// horizons, both request queues (read completion callbacks included),
+// the drain-phase state, the in-flight transaction pool and the
+// statistics. The refresh chain needs no explicit entry — its pending
+// event (the prebound refreshFn) is captured by the engine checkpoint.
+// The zero value is ready; buffers are reused across captures.
+type State struct {
+	banks      []bankState
+	readQ      []request
+	writeQ     []request
+	inflight   int
+	draining   bool
+	drainBurst int
+	busFreeAt  event.Cycle
+	kickAt     event.Cycle
+
+	live []txnState
+
+	stat      Stats
+	drainHist stats.Histogram
+}
+
+// Snapshot captures the controller into st.
+func (c *Controller) Snapshot(st *State) {
+	st.banks = append(st.banks[:0], c.banks...)
+	st.readQ = append(st.readQ[:0], c.readQ...)
+	st.writeQ = append(st.writeQ[:0], c.writeQ...)
+	st.inflight = c.inflight
+	st.draining = c.draining
+	st.drainBurst = c.drainBurst
+	st.busFreeAt = c.busFreeAt
+	st.kickAt = c.kickAt
+	st.live = st.live[:0]
+	for i, t := range c.txnAll {
+		if t.live {
+			st.live = append(st.live, txnState{i, t.r, t.isWrite})
+		}
+	}
+	st.stat = c.Stat
+	st.drainHist.CopyFrom(c.Stat.DrainBurst)
+}
+
+// Restore writes st back into the controller that produced it. The
+// transaction free list is rebuilt from the registry (registry order),
+// which may differ from the captured list's order — harmless, because a
+// transaction's contents are fully assigned on allocation, so which
+// pooled record serves a future request is unobservable.
+func (c *Controller) Restore(st *State) {
+	copy(c.banks, st.banks)
+	c.readQ = append(c.readQ[:0], st.readQ...)
+	c.writeQ = append(c.writeQ[:0], st.writeQ...)
+	c.inflight = st.inflight
+	c.draining = st.draining
+	c.drainBurst = st.drainBurst
+	c.busFreeAt = st.busFreeAt
+	c.kickAt = st.kickAt
+	for _, t := range c.txnAll {
+		t.live = false
+		t.r = request{}
+	}
+	for _, ls := range st.live {
+		t := c.txnAll[ls.idx]
+		t.live = true
+		t.r, t.isWrite = ls.r, ls.isWrite
+	}
+	c.txnFree = nil
+	for i := len(c.txnAll) - 1; i >= 0; i-- {
+		if t := c.txnAll[i]; !t.live {
+			t.next = c.txnFree
+			c.txnFree = t
+		}
+	}
+	h := c.Stat.DrainBurst
+	c.Stat = st.stat
+	c.Stat.DrainBurst = h
+	h.CopyFrom(&st.drainHist)
+}

@@ -1,0 +1,101 @@
+package event
+
+import (
+	"reflect"
+	"testing"
+)
+
+// scheduleScatter loads the engine with events across every structure a
+// record can live in: the level-0 window, outer levels, the far-future
+// overflow, and (after a cascade) the front list. Each event appends its
+// identity to got so firing order is observable.
+func scheduleScatter(e *Engine, got *[]int) {
+	ats := []Cycle{3, 3, 7, 300, 70000, 1 << 22, 1 << 25, 5, 3}
+	for i, at := range ats {
+		i := i
+		e.At(at, func() { *got = append(*got, i) })
+	}
+}
+
+func TestSnapshotRestoreReplaysIdenticalOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	scheduleScatter(&e, &got)
+	// Run partway, then checkpoint mid-schedule.
+	e.RunUntil(10)
+	prefix := append([]int(nil), got...)
+
+	var st EngineState
+	e.Snapshot(&st)
+	wantNow, wantSeq, wantFired := e.Now(), e.seq, e.Fired()
+	if st.Pending() != e.Pending() {
+		t.Fatalf("snapshot pending = %d, engine pending = %d", st.Pending(), e.Pending())
+	}
+
+	// Continue to completion: this is the reference continuation.
+	e.Run()
+	want := append([]int(nil), got...)
+	wantEndNow, wantEndSeq, wantEndFired := e.Now(), e.seq, e.Fired()
+
+	// Rewind and replay.
+	got = append(got[:0], prefix...)
+	e.Restore(&st)
+	if e.Now() != wantNow || e.seq != wantSeq || e.Fired() != wantFired {
+		t.Fatalf("restore clocks = (%d,%d,%d), want (%d,%d,%d)",
+			e.Now(), e.seq, e.Fired(), wantNow, wantSeq, wantFired)
+	}
+	e.Run()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed order %v, want %v", got, want)
+	}
+	if e.Now() != wantEndNow || e.seq != wantEndSeq || e.Fired() != wantEndFired {
+		t.Fatalf("replay end clocks = (%d,%d,%d), want (%d,%d,%d)",
+			e.Now(), e.seq, e.Fired(), wantEndNow, wantEndSeq, wantEndFired)
+	}
+}
+
+func TestSnapshotSkipsCanceledRecords(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(5, func() { fired++ })
+	h := e.At(6, func() { t.Error("canceled event fired") })
+	e.At(7, func() { fired++ })
+	h.Cancel()
+
+	var st EngineState
+	e.Snapshot(&st)
+	if st.Pending() != 2 {
+		t.Fatalf("snapshot pending = %d, want 2 (canceled skipped)", st.Pending())
+	}
+	e.Restore(&st)
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+func TestRestoreAfterDivergence(t *testing.T) {
+	// Restore must fully discard whatever the engine did after the
+	// snapshot, including newly scheduled events.
+	var e Engine
+	var got []int
+	e.At(10, func() { got = append(got, 10) })
+	var st EngineState
+	e.Snapshot(&st)
+
+	e.At(1, func() { got = append(got, 1) })
+	e.Run()
+	if !reflect.DeepEqual(got, []int{1, 10}) {
+		t.Fatalf("divergent run = %v", got)
+	}
+
+	got = got[:0]
+	e.Restore(&st)
+	e.Run()
+	if !reflect.DeepEqual(got, []int{10}) {
+		t.Fatalf("restored run = %v, want [10]", got)
+	}
+}

@@ -57,21 +57,25 @@ func (o Options) multiCell(exp string, mech config.Mechanism, mixName string, be
 // results in cell order. Per-cell seeds come from sweep.CellSeed, so
 // the result set is identical for every worker count; each outcome is
 // also pushed to the Recorder for the -json report. Each worker keeps
-// one system.Pool, so consecutive same-geometry cells reuse a reset
-// machine instead of rebuilding one (results stay bit-identical either
-// way — set DBISIM_NO_POOL to force fresh construction per cell).
+// one system.ForkPool: cells are grouped by warmup identity, so a group
+// warms one machine, checkpoints it at the warmup→measure boundary and
+// forks every sibling cell from the snapshot — and falls back to the
+// plain reset path otherwise (results stay bit-identical either way —
+// set DBISIM_NO_FORK to force reset-per-cell, DBISIM_NO_POOL to force
+// fresh construction per cell).
 func (o Options) runCells(cells []simCell) ([]system.Results, error) {
-	sc := make([]sweep.StateCell[system.Results, system.Pool], len(cells))
+	sc := make([]sweep.StateCell[system.Results, system.ForkPool], len(cells))
 	seeds := make([]int64, len(cells))
 	for i := range cells {
 		c := cells[i]
 		seed := sweep.CellSeed(o.seed(), c.key.Benchmark, c.key.Mechanism, c.key.Run)
 		seeds[i] = seed
-		sc[i] = sweep.StateCell[system.Results, system.Pool]{
+		sc[i] = sweep.StateCell[system.Results, system.ForkPool]{
 			Key: c.key,
-			Run: func(p *system.Pool) (system.Results, error) {
+			Run: func(p *system.ForkPool) (system.Results, error) {
 				return p.Run(c.cfg, c.benches, seed)
 			},
+			Group: system.WarmupKey(c.cfg, c.benches, seed),
 		}
 	}
 	outs, err := sweep.RunState(sc, o.workers(), o.Progress)

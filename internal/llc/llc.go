@@ -109,11 +109,16 @@ type LLC struct {
 	// a closure per tag-store operation. Only one scan lookup is in
 	// flight at a time (scanning), so a single field pair carries its
 	// state.
+	// tagAll/fillAll register every pooled record ever allocated (with
+	// live flags maintained at get/put) so a checkpoint can enumerate
+	// the pools by index.
 	curScanBlock addr.BlockAddr
 	curScanVisit func(addr.BlockAddr)
 	scanDoneFn   event.Func
 	scanWakeFn   event.Func
 	tagFree      *tagReq
+	tagAll       []*tagReq
+	fillAll      []*fillReq
 
 	// mateFree recycles harvest candidate buffers (row-mate lists, DBI
 	// eviction drains, flush scratch) so the steady-state harvest paths
@@ -138,6 +143,8 @@ type LLC struct {
 // the contended port, with its callbacks bound once at allocation.
 type tagReq struct {
 	l      *LLC
+	id     int32 // position in tagAll
+	live   bool
 	b      addr.BlockAddr
 	thread int
 	done   func()
@@ -151,18 +158,21 @@ type tagReq struct {
 func (l *LLC) getReq(b addr.BlockAddr, thread int, done func()) *tagReq {
 	rr := l.tagFree
 	if rr == nil {
-		rr = &tagReq{l: l}
+		rr = &tagReq{l: l, id: int32(len(l.tagAll))}
 		rr.clbFn = rr.clbCheck
 		rr.readFn = rr.lookupDone
 		rr.wbFn = rr.writebackDone
+		l.tagAll = append(l.tagAll, rr)
 	} else {
 		l.tagFree = rr.next
 	}
+	rr.live = true
 	rr.b, rr.thread, rr.done = b, thread, done
 	return rr
 }
 
 func (l *LLC) putReq(rr *tagReq) {
+	rr.live = false
 	rr.done = nil
 	rr.next = l.tagFree
 	l.tagFree = rr
@@ -387,6 +397,8 @@ func (rr *tagReq) lookupDone() {
 // at allocation. Merged fills complete the MSHR entry on arrival;
 // unmerged (MSHR-full) fills invoke done directly.
 type fillReq struct {
+	id       int32 // position in fillAll
+	live     bool
 	b        addr.BlockAddr
 	thread   int
 	allocate bool
@@ -401,12 +413,14 @@ type fillReq struct {
 func (l *LLC) getFill(b addr.BlockAddr, thread int, allocate, merged bool, done func()) *fillReq {
 	r := l.fillFree
 	if r == nil {
-		r = &fillReq{}
+		r = &fillReq{id: int32(len(l.fillAll))}
 		r.fn = func() { l.completeFill(r) }
+		l.fillAll = append(l.fillAll, r)
 	} else {
 		l.fillFree = r.next
 	}
 	r.next = nil
+	r.live = true
 	r.b, r.thread, r.allocate, r.merged, r.done = b, thread, allocate, merged, done
 	return r
 }
@@ -417,6 +431,7 @@ func (l *LLC) getFill(b addr.BlockAddr, thread int, allocate, merged bool, done 
 // it, so all state is copied out first.
 func (l *LLC) completeFill(r *fillReq) {
 	b, thread, allocate, merged, done := r.b, r.thread, r.allocate, r.merged, r.done
+	r.live = false
 	r.done = nil
 	r.next = l.fillFree
 	l.fillFree = r
@@ -678,6 +693,14 @@ func (l *LLC) harvestAWB(b addr.BlockAddr) {
 // TagLookups reports total tag-store lookups (Figure 6c's numerator).
 func (l *LLC) TagLookups() uint64 { return l.Cache.Stats.TagLookups.Value() }
 
+// MSHRLen reports outstanding (merged) misses — tests use it to catch
+// the machine with the miss file occupied.
+func (l *LLC) MSHRLen() int { return l.mshr.Len() }
+
+// ScanQueueLen reports queued harvest/evict-buffer rows — tests use it
+// to catch the machine mid-drain.
+func (l *LLC) ScanQueueLen() int { return len(l.scanQ) }
+
 // RegisterMetrics adds the LLC's probes (and those of its port and DBI,
 // when present) to a telemetry registry.
 func (l *LLC) RegisterMetrics(reg *telemetry.Registry) {
@@ -752,5 +775,23 @@ func (l *LLC) Reset(seed int64) {
 	l.scanWake = false
 	l.curScanBlock = 0
 	l.curScanVisit = nil
+	// Reclaim records that were in flight when the engine dropped their
+	// completion events: rebuild both free lists from the registries.
+	l.tagFree = nil
+	for i := len(l.tagAll) - 1; i >= 0; i-- {
+		rr := l.tagAll[i]
+		rr.live = false
+		rr.done = nil
+		rr.next = l.tagFree
+		l.tagFree = rr
+	}
+	l.fillFree = nil
+	for i := len(l.fillAll) - 1; i >= 0; i-- {
+		r := l.fillAll[i]
+		r.live = false
+		r.done = nil
+		r.next = l.fillFree
+		l.fillFree = r
+	}
 	l.Stat = Stats{}
 }

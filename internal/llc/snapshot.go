@@ -1,0 +1,184 @@
+package llc
+
+import (
+	"dbisim/internal/addr"
+	"dbisim/internal/cache"
+	"dbisim/internal/dbi"
+	"dbisim/internal/event"
+	"dbisim/internal/misspred"
+)
+
+// tagReqState records one pooled tag-store request by its registry
+// position; the record itself stays put (pending port operations and
+// engine events hold its prebound callbacks), only its contents move.
+// The done callback is a captured function value — valid only restored
+// into the machine that created it, which the system layer enforces.
+type tagReqState struct {
+	id     int32
+	b      addr.BlockAddr
+	thread int
+	done   func()
+	start  event.Cycle
+}
+
+// fillReqState records one pooled memory-fill request likewise.
+type fillReqState struct {
+	id       int32
+	b        addr.BlockAddr
+	thread   int
+	allocate bool
+	merged   bool
+	done     func()
+}
+
+// scanJobState is one queued harvest row; the blocks are copied into
+// checkpoint-owned storage (the live job's buffer belongs to the LLC's
+// mate pool and keeps circulating).
+type scanJobState struct {
+	blocks []addr.BlockAddr
+	idx    int
+	paced  bool
+	visit  func(addr.BlockAddr)
+}
+
+// State is a checkpoint of an LLC: tag store, port, DBI, miss
+// predictor, MSHR file, the scan state machine (queue, pacing clock,
+// in-flight lookup) and both pooled request files. The zero value is
+// ready; buffers are reused across captures.
+type State struct {
+	cache cache.CacheState
+	port  cache.PortState
+	dbi   dbi.State
+	pred  misspred.State
+	mshr  cache.MSHRState
+
+	scanQ        []scanJobState
+	scanning     bool
+	nextScanAt   event.Cycle
+	scanWake     bool
+	curScanBlock addr.BlockAddr
+	curScanVisit func(addr.BlockAddr)
+
+	tags  []tagReqState
+	fills []fillReqState
+
+	stat Stats
+}
+
+// Snapshot captures the LLC into st.
+func (l *LLC) Snapshot(st *State) {
+	l.Cache.Snapshot(&st.cache)
+	l.Port.Snapshot(&st.port)
+	if l.DBI != nil {
+		l.DBI.Snapshot(&st.dbi)
+	}
+	if l.Pred != nil {
+		l.Pred.Snapshot(&st.pred)
+	}
+	l.mshr.Snapshot(&st.mshr)
+
+	if len(st.scanQ) < len(l.scanQ) {
+		st.scanQ = append(st.scanQ, make([]scanJobState, len(l.scanQ)-len(st.scanQ))...)
+	}
+	st.scanQ = st.scanQ[:len(l.scanQ)]
+	for i := range l.scanQ {
+		j := &l.scanQ[i]
+		s := &st.scanQ[i]
+		s.blocks = append(s.blocks[:0], j.blocks...)
+		s.idx, s.paced, s.visit = j.idx, j.paced, j.visit
+	}
+	st.scanning = l.scanning
+	st.nextScanAt = l.nextScanAt
+	st.scanWake = l.scanWake
+	st.curScanBlock = l.curScanBlock
+	st.curScanVisit = l.curScanVisit
+
+	st.tags = st.tags[:0]
+	for _, rr := range l.tagAll {
+		if rr.live {
+			st.tags = append(st.tags, tagReqState{rr.id, rr.b, rr.thread, rr.done, rr.start})
+		}
+	}
+	st.fills = st.fills[:0]
+	for _, r := range l.fillAll {
+		if r.live {
+			st.fills = append(st.fills, fillReqState{r.id, r.b, r.thread, r.allocate, r.merged, r.done})
+		}
+	}
+	st.stat = l.Stat
+}
+
+// Restore writes st back into the LLC that produced it. Scan-queue
+// buffers are drawn from the mate pool; the pooled request free lists
+// are rebuilt from the registries in registry order — which record
+// serves a future request is unobservable, since contents are fully
+// assigned on allocation.
+func (l *LLC) Restore(st *State) {
+	l.Cache.Restore(&st.cache)
+	l.Port.Restore(&st.port)
+	if l.DBI != nil {
+		l.DBI.Restore(&st.dbi)
+	}
+	if l.Pred != nil {
+		l.Pred.Restore(&st.pred)
+	}
+	l.mshr.Restore(&st.mshr)
+
+	for i := range l.scanQ {
+		l.putMates(l.scanQ[i].blocks)
+		l.scanQ[i] = scanJob{}
+	}
+	l.scanQ = l.scanQ[:0]
+	for i := range st.scanQ {
+		s := &st.scanQ[i]
+		l.scanQ = append(l.scanQ, scanJob{
+			blocks: append(l.getMates(), s.blocks...),
+			idx:    s.idx,
+			paced:  s.paced,
+			visit:  s.visit,
+		})
+	}
+	l.scanning = st.scanning
+	l.nextScanAt = st.nextScanAt
+	l.scanWake = st.scanWake
+	l.curScanBlock = st.curScanBlock
+	l.curScanVisit = st.curScanVisit
+
+	for _, rr := range l.tagAll {
+		rr.live = false
+		rr.done = nil
+	}
+	for _, ts := range st.tags {
+		rr := l.tagAll[ts.id]
+		rr.live = true
+		rr.b, rr.thread, rr.done, rr.start = ts.b, ts.thread, ts.done, ts.start
+	}
+	l.tagFree = nil
+	for i := len(l.tagAll) - 1; i >= 0; i-- {
+		if rr := l.tagAll[i]; !rr.live {
+			rr.next = l.tagFree
+			l.tagFree = rr
+		} else {
+			rr.next = nil
+		}
+	}
+	for _, r := range l.fillAll {
+		r.live = false
+		r.done = nil
+	}
+	for _, fs := range st.fills {
+		r := l.fillAll[fs.id]
+		r.live = true
+		r.b, r.thread, r.allocate, r.merged, r.done = fs.b, fs.thread, fs.allocate, fs.merged, fs.done
+	}
+	l.fillFree = nil
+	for i := len(l.fillAll) - 1; i >= 0; i-- {
+		if r := l.fillAll[i]; !r.live {
+			r.next = l.fillFree
+			l.fillFree = r
+		} else {
+			r.next = nil
+		}
+	}
+	l.Stat = st.stat
+}

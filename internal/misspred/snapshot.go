@@ -1,0 +1,26 @@
+package misspred
+
+import "dbisim/internal/event"
+
+// State is a checkpoint of a Predictor: the epoch cursor, per-thread
+// sample counters and bypass decisions, and the statistics. The zero
+// value is ready; the thread buffer is reused across captures.
+type State struct {
+	epochStart event.Cycle
+	threads    []threadState
+	stat       Stats
+}
+
+// Snapshot captures the predictor into st.
+func (p *Predictor) Snapshot(st *State) {
+	st.epochStart = p.epochStart
+	st.threads = append(st.threads[:0], p.threads...)
+	st.stat = p.Stat
+}
+
+// Restore writes st back.
+func (p *Predictor) Restore(st *State) {
+	p.epochStart = st.epochStart
+	copy(p.threads, st.threads)
+	p.Stat = st.stat
+}

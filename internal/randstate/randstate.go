@@ -1,0 +1,154 @@
+// Package randstate captures and restores the internal state of a
+// math/rand generator, the one piece of simulator state the standard
+// library hides. Checkpoint-fork sweeps (system.Snapshot/Restore) need
+// it: the trace generators and adaptive replacement policies draw from
+// their rand.Source mid-stream, so a restored machine must resume the
+// very same random sequence or fork-then-measure would diverge from
+// run-from-scratch.
+//
+// The package mirrors the layout of math/rand's unexported rngSource
+// (an additive Lagged Fibonacci generator: two taps into a 607-word
+// vector) and copies the words out through unsafe. That layout has been
+// stable since Go 1.0, but it is still an implementation detail, so
+// nothing is assumed: an init-time probe verifies the concrete type's
+// size, field names, offsets and types via reflection and then proves a
+// save/restore round trip reproduces the stream. If any check fails,
+// Supported reports false and callers (system.Snapshot) degrade to
+// running cells from scratch — slower, never wrong.
+package randstate
+
+import (
+	"math/rand"
+	"reflect"
+	"unsafe"
+)
+
+// mirror replicates math/rand.rngSource field for field. The init-time
+// probe guarantees the replica matches before any unsafe cast happens.
+type mirror struct {
+	tap  int
+	feed int
+	vec  [607]int64
+}
+
+// State is a captured generator state. The zero value is not a valid
+// state to restore; fill it with Save first.
+type State struct {
+	m mirror
+}
+
+var (
+	supported bool
+	rngType   reflect.Type // concrete *rngSource type, captured at init
+)
+
+func init() {
+	t := reflect.TypeOf(rand.NewSource(1))
+	if t.Kind() != reflect.Pointer {
+		return
+	}
+	e := t.Elem()
+	if e.Kind() != reflect.Struct || e.NumField() != 3 || e.Size() != unsafe.Sizeof(mirror{}) {
+		return
+	}
+	f0, f1, f2 := e.Field(0), e.Field(1), e.Field(2)
+	if f0.Name != "tap" || f0.Type.Kind() != reflect.Int || f0.Offset != unsafe.Offsetof(mirror{}.tap) {
+		return
+	}
+	if f1.Name != "feed" || f1.Type.Kind() != reflect.Int || f1.Offset != unsafe.Offsetof(mirror{}.feed) {
+		return
+	}
+	if f2.Name != "vec" || f2.Type != reflect.TypeOf([607]int64{}) || f2.Offset != unsafe.Offsetof(mirror{}.vec) {
+		return
+	}
+	rngType = t
+	supported = roundTrip()
+	if !supported {
+		rngType = nil
+	}
+}
+
+// roundTrip proves Save/Restore reproduce the stream on this runtime:
+// capture a warmed source, restore it into a differently-seeded one,
+// and check the two emit identical values.
+func roundTrip() bool {
+	a, aok := rand.NewSource(12345).(rand.Source64)
+	b, bok := rand.NewSource(99999).(rand.Source64)
+	if !aok || !bok {
+		return false
+	}
+	for i := 0; i < 13; i++ {
+		a.Uint64()
+	}
+	var st State
+	if !save(a, &st) || !restore(b, &st) {
+		return false
+	}
+	for i := 0; i < 32; i++ {
+		if a.Uint64() != b.Uint64() {
+			return false
+		}
+	}
+	return true
+}
+
+// Supported reports whether this runtime's math/rand layout matched the
+// probe. When false, Save and Restore refuse and checkpointing callers
+// must fall back to scratch runs.
+func Supported() bool { return supported }
+
+// mirrorOf returns the source's state words, or nil when the source is
+// not the probed concrete type.
+func mirrorOf(src rand.Source) *mirror {
+	v := reflect.ValueOf(src)
+	if rngType == nil || v.Type() != rngType {
+		return nil
+	}
+	return (*mirror)(v.UnsafePointer())
+}
+
+func save(src rand.Source, st *State) bool {
+	m := mirrorOf(src)
+	if m == nil {
+		return false
+	}
+	st.m = *m
+	return true
+}
+
+func restore(src rand.Source, st *State) bool {
+	m := mirrorOf(src)
+	if m == nil {
+		return false
+	}
+	*m = st.m
+	return true
+}
+
+// Save captures src's state into st. It reports false — leaving st
+// unspecified — when the runtime layout is unsupported or src is not a
+// rand.NewSource source.
+func Save(src rand.Source, st *State) bool { return save(src, st) }
+
+// MustSave is Save for callers that have already gated on Supported and
+// hold a source known to come from rand.NewSource — the simulator's
+// components after system.Snapshot's entry check. Failure there is a
+// wiring bug, so it panics rather than silently corrupting a
+// checkpoint.
+func MustSave(src rand.Source, st *State) {
+	if !save(src, st) {
+		panic("randstate: MustSave on unsupported source")
+	}
+}
+
+// MustRestore is Restore with MustSave's contract.
+func MustRestore(src rand.Source, st *State) {
+	if !restore(src, st) {
+		panic("randstate: MustRestore on unsupported source")
+	}
+}
+
+// Restore overwrites src's state with st, so src continues the exact
+// stream the saved source would have produced. It reports false (and
+// leaves src untouched) under the same conditions Save does.
+func Restore(src rand.Source, st *State) bool { return restore(src, st) }

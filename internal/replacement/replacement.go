@@ -32,6 +32,12 @@ type Policy interface {
 	// stale values would leak through tie-breaks and demotion minima and
 	// break the fresh-vs-reset bit-identity the sweep pool depends on.
 	Reset(seed int64)
+	// Snapshot captures the policy's full state (recency/RRPV arrays,
+	// dueling selectors, rng) into st; Restore writes it back, so a
+	// restored policy makes exactly the decisions the captured one would
+	// have. Both reuse st's buffers across captures.
+	Snapshot(st *PolicyState)
+	Restore(st *PolicyState)
 }
 
 // lruState holds per-block recency stamps; higher is more recent.
@@ -116,6 +122,7 @@ type TADIP struct {
 	pselMax    int
 	epsilonDen int
 	rng        *rand.Rand
+	src        rand.Source // rng's source, retained for state capture
 }
 
 // TADIPConfig configures TA-DIP.
@@ -155,6 +162,7 @@ func NewTADIP(c TADIPConfig) *TADIP {
 	for i := range psel {
 		psel[i] = max / 2
 	}
+	src := rand.NewSource(c.Seed)
 	return &TADIP{
 		s:          newLRUState(c.Sets, c.Ways),
 		sets:       c.Sets,
@@ -162,7 +170,8 @@ func NewTADIP(c TADIPConfig) *TADIP {
 		psel:       psel,
 		pselMax:    max,
 		epsilonDen: c.EpsilonDen,
-		rng:        rand.New(rand.NewSource(c.Seed)),
+		rng:        rand.New(src),
+		src:        src,
 	}
 }
 
@@ -285,6 +294,7 @@ type DRRIP struct {
 	pselMax    int
 	epsilonDen int
 	rng        *rand.Rand
+	src        rand.Source // rng's source, retained for state capture
 }
 
 // NewDRRIP returns a DRRIP policy with 2-bit RRPVs.
@@ -310,13 +320,15 @@ func NewDRRIP(c TADIPConfig) *DRRIP {
 	for i := range psel {
 		psel[i] = max / 2
 	}
+	src := rand.NewSource(c.Seed)
 	return &DRRIP{
 		r:          newRRIPState(c.Sets, c.Ways, 2),
 		period:     period,
 		psel:       psel,
 		pselMax:    max,
 		epsilonDen: c.EpsilonDen,
-		rng:        rand.New(rand.NewSource(c.Seed)),
+		rng:        rand.New(src),
+		src:        src,
 	}
 }
 

@@ -77,6 +77,15 @@ type Cell[T any] struct {
 type StateCell[T, W any] struct {
 	Key Key
 	Run func(w *W) (T, error)
+
+	// Group, when non-empty, labels cells that profit from running on
+	// the same worker consecutively — cells sharing a warmup identity,
+	// say, so a fork-aware worker state warms a machine once and forks
+	// every sibling from the checkpoint. All cells with equal Group
+	// labels are dispatched to one worker as an unbroken chain, in input
+	// order. Grouping is a scheduling hint only: results must remain
+	// bit-identical for any grouping, including none.
+	Group string
 }
 
 // Outcome pairs a cell's result with its identity and wall-clock cost.
@@ -117,47 +126,56 @@ func RunWithProgress[T any](cells []Cell[T], workers int, progress func(done, to
 // ordering, failure and progress semantics are identical to
 // RunWithProgress.
 func RunState[T, W any](cells []StateCell[T, W], workers int, progress func(done, total int)) ([]Outcome[T], error) {
+	chains := buildChains(cells)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cells) {
-		workers = len(cells)
+	if workers > len(chains) {
+		workers = len(chains)
 	}
 	outs := make([]Outcome[T], len(cells))
 	errs := make([]error, len(cells))
 
 	var failed atomic.Bool
 	var done atomic.Int64
-	idx := make(chan int)
+	work := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var state W
-			for i := range idx {
-				if failed.Load() {
-					continue
-				}
-				start := time.Now()
-				v, err := cells[i].Run(&state)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-					continue
-				}
-				outs[i] = Outcome[T]{Key: cells[i].Key, Value: v, Elapsed: time.Since(start)}
-				perfstat.CellDone(1)
-				if progress != nil {
-					progress(int(done.Add(1)), len(cells))
+			// Worker states that hold onto expensive resources (warmed
+			// machines) may implement Release to hand them to the next
+			// sweep when this worker retires.
+			if r, ok := any(&state).(interface{ Release() }); ok {
+				defer r.Release()
+			}
+			for chain := range work {
+				for _, i := range chain {
+					if failed.Load() {
+						continue
+					}
+					start := time.Now()
+					v, err := cells[i].Run(&state)
+					if err != nil {
+						errs[i] = err
+						failed.Store(true)
+						continue
+					}
+					outs[i] = Outcome[T]{Key: cells[i].Key, Value: v, Elapsed: time.Since(start)}
+					perfstat.CellDone(1)
+					if progress != nil {
+						progress(int(done.Add(1)), len(cells))
+					}
 				}
 			}
 		}()
 	}
-	for i := range cells {
-		idx <- i
+	for _, c := range chains {
+		work <- c
 	}
-	close(idx)
+	close(work)
 	wg.Wait()
 
 	for i, err := range errs {
@@ -166,4 +184,28 @@ func RunState[T, W any](cells []StateCell[T, W], workers int, progress func(done
 		}
 	}
 	return outs, nil
+}
+
+// buildChains partitions cell indices into dispatch units: every set of
+// cells sharing a non-empty Group becomes one chain (in input order,
+// keyed by first occurrence), each ungrouped cell its own. One chain
+// goes to one worker, so a group's cells always run consecutively on
+// the same worker state.
+func buildChains[T, W any](cells []StateCell[T, W]) [][]int {
+	var chains [][]int
+	byGroup := map[string]int{}
+	for i := range cells {
+		g := cells[i].Group
+		if g == "" {
+			chains = append(chains, []int{i})
+			continue
+		}
+		if ci, ok := byGroup[g]; ok {
+			chains[ci] = append(chains[ci], i)
+			continue
+		}
+		byGroup[g] = len(chains)
+		chains = append(chains, []int{i})
+	}
+	return chains
 }

@@ -1,0 +1,241 @@
+package system
+
+import (
+	"os"
+	"sync"
+
+	"dbisim/internal/config"
+)
+
+// NoForkEnv, when set to any non-empty value, disables checkpoint
+// forking: ForkPool degrades to the plain reset Pool (which itself
+// honors DBISIM_NO_POOL). It is the escape hatch for bisecting a
+// suspected checkpoint bug and the lever CI uses to smoke both paths.
+const NoForkEnv = "DBISIM_NO_FORK"
+
+const (
+	// forkMachineCap bounds how many distinct-geometry machines one
+	// ForkPool keeps alive. It must cover the signature working set of
+	// the recorded macro sweeps (casestudy cycles 6, fig6 cycles 8, the
+	// clbsens thresholds 3) or the LRU thrashes: every round then
+	// repays full construction plus a checkpoint that is evicted before
+	// it can ever be forked.
+	forkMachineCap = 12
+	// forkCkptCap bounds the checkpoints retained per machine (one per
+	// warmup identity).
+	forkCkptCap = 8
+	// sharedPoolCap bounds the process-wide free stack that carries
+	// warmed machines from one sweep's workers to the next.
+	sharedPoolCap = 16
+)
+
+// forkCkpt is one retained warmup checkpoint with its identity key.
+type forkCkpt struct {
+	key   string
+	ck    Checkpoint
+	stamp uint64
+}
+
+// forkMachine is one pooled System plus the checkpoints taken on it.
+type forkMachine struct {
+	sys   *System
+	sig   config.SystemConfig
+	ckpts []*forkCkpt
+	stamp uint64
+}
+
+func (m *forkMachine) ckpt(key string) *forkCkpt {
+	for _, c := range m.ckpts {
+		if c.key == key {
+			return c
+		}
+	}
+	return nil
+}
+
+func (m *forkMachine) drop(key string) {
+	for i, c := range m.ckpts {
+		if c.key == key {
+			m.ckpts = append(m.ckpts[:i], m.ckpts[i+1:]...)
+			return
+		}
+	}
+}
+
+// take returns the checkpoint slot for key, creating it (evicting the
+// least-recently-used one at capacity) if absent.
+func (m *forkMachine) take(key string, clock uint64) *forkCkpt {
+	if c := m.ckpt(key); c != nil {
+		c.stamp = clock
+		return c
+	}
+	if len(m.ckpts) >= forkCkptCap {
+		lru := 0
+		for i := range m.ckpts {
+			if m.ckpts[i].stamp < m.ckpts[lru].stamp {
+				lru = i
+			}
+		}
+		c := m.ckpts[lru]
+		m.ckpts = append(m.ckpts[:lru], m.ckpts[lru+1:]...)
+		c.key, c.stamp = key, clock
+		m.ckpts = append(m.ckpts, c)
+		return c
+	}
+	c := &forkCkpt{key: key, stamp: clock}
+	m.ckpts = append(m.ckpts, c)
+	return c
+}
+
+// ForkPool runs sweep cells with checkpoint forking: the first cell of
+// a warmup group warms a machine, snapshots it at the warmup→measure
+// boundary, and measures; every later cell with the same warmup
+// identity restores the snapshot and measures only — turning
+// O(N·(warmup+measure)) sweeps into O(warmup + N·measure). Results are
+// bit-identical to New(cfg, benches, seed).Run() regardless of history;
+// whenever a checkpoint cannot be taken, restored, or measured from,
+// the pool falls back to the plain reset path.
+//
+// A ForkPool is NOT safe for concurrent use: each sweep worker owns its
+// own. The zero value is ready. Call Release when the worker is done to
+// push the warmed machines onto a process-wide stack for the next
+// sweep's workers to adopt — that is what amortizes warmup across
+// repeated sweeps (a dbistat round, a clbsens-style multi-config
+// macro).
+type ForkPool struct {
+	machines []*forkMachine
+	clock    uint64
+	plain    Pool
+	adopted  bool
+}
+
+// sharedPools carries released machine sets across ForkPool lifetimes.
+var (
+	sharedPoolsMu sync.Mutex
+	sharedPools   [][]*forkMachine
+)
+
+func (p *ForkPool) adopt() {
+	if p.adopted {
+		return
+	}
+	p.adopted = true
+	sharedPoolsMu.Lock()
+	if n := len(sharedPools); n > 0 {
+		p.machines = sharedPools[n-1]
+		sharedPools[n-1] = nil
+		sharedPools = sharedPools[:n-1]
+	}
+	sharedPoolsMu.Unlock()
+}
+
+// Release hands the pool's machines to the process-wide stack (dropped
+// if the stack is full) and empties the pool. The sweep scheduler calls
+// it when a worker retires.
+func (p *ForkPool) Release() {
+	if len(p.machines) == 0 {
+		return
+	}
+	m := p.machines
+	p.machines = nil
+	p.adopted = false
+	sharedPoolsMu.Lock()
+	if len(sharedPools) < sharedPoolCap {
+		sharedPools = append(sharedPools, m)
+	}
+	sharedPoolsMu.Unlock()
+}
+
+func (p *ForkPool) machine(sig config.SystemConfig) *forkMachine {
+	for _, m := range p.machines {
+		if m.sig == sig {
+			p.clock++
+			m.stamp = p.clock
+			return m
+		}
+	}
+	return nil
+}
+
+// insert adds a machine, evicting the least-recently-used at capacity.
+func (p *ForkPool) insert(sys *System, sig config.SystemConfig) *forkMachine {
+	p.clock++
+	m := &forkMachine{sys: sys, sig: sig, stamp: p.clock}
+	if len(p.machines) >= forkMachineCap {
+		lru := 0
+		for i, mm := range p.machines {
+			if mm.stamp < p.machines[lru].stamp {
+				lru = i
+			}
+		}
+		p.machines = append(p.machines[:lru], p.machines[lru+1:]...)
+	}
+	p.machines = append(p.machines, m)
+	return m
+}
+
+// Run executes one cell, forking from a warmup checkpoint when one is
+// available and taking one when it is not.
+func (p *ForkPool) Run(cfg config.SystemConfig, benches []string, seed int64) (Results, error) {
+	if os.Getenv(NoForkEnv) != "" || !Forkable() ||
+		cfg.WarmupInstructions == 0 || cfg.MeasureInstructions == 0 {
+		return p.plain.Run(cfg, benches, seed)
+	}
+	if os.Getenv(NoPoolEnv) != "" {
+		return p.plain.Run(cfg, benches, seed)
+	}
+	p.adopt()
+
+	sig := Signature(cfg)
+	key := WarmupKey(cfg, benches, seed)
+	m := p.machine(sig)
+
+	// Fast path: restore the group's checkpoint and measure.
+	if m != nil {
+		if c := m.ckpt(key); c != nil {
+			p.clock++
+			c.stamp = p.clock
+			if err := m.sys.Restore(cfg, &c.ck); err == nil {
+				if res, err := m.sys.RunMeasure(); err == nil {
+					return res, nil
+				}
+			}
+			// Unusable checkpoint (or unforkable budget): drop it and
+			// warm from scratch below.
+			m.drop(key)
+		}
+	}
+
+	// Slow path: get a machine at this cell's run state, warm it,
+	// checkpoint the boundary, then measure.
+	if m == nil {
+		sys, err := New(cfg, benches, seed)
+		if err != nil {
+			return Results{}, err
+		}
+		m = p.insert(sys, sig)
+	} else if err := m.sys.Reset(cfg, benches, seed); err != nil {
+		return Results{}, err
+	}
+	if err := m.sys.RunWarmup(); err != nil {
+		// Phase-split refused (telemetry, zero warmup — both excluded
+		// above, so this is unreachable in practice). The machine is
+		// untouched; run it whole.
+		return m.sys.Run(), nil
+	}
+	p.clock++
+	c := m.take(key, p.clock)
+	if err := m.sys.Snapshot(&c.ck); err != nil {
+		m.drop(key)
+	}
+	res, err := m.sys.RunMeasure()
+	if err != nil {
+		// A core overran its measurement budget during the warmup
+		// overhang; only a scratch run reproduces that cell.
+		if rerr := m.sys.Reset(cfg, benches, seed); rerr != nil {
+			return Results{}, rerr
+		}
+		return m.sys.Run(), nil
+	}
+	return res, err
+}

@@ -158,7 +158,8 @@ const pageBlocks = 64
 type synth struct {
 	p    Profile
 	rng  *rand.Rand
-	base addr.Addr // base of this core's physical range
+	src  rand.Source // rng's source, retained for state capture
+	base addr.Addr   // base of this core's physical range
 
 	pt        pageTable // virtual page -> physical page index
 	used      bitset    // physical pages already handed out
@@ -285,7 +286,8 @@ func (s *synth) Reset(p Profile, base addr.Addr, seed int64) {
 	s.pt.grow(vpages)
 	s.used.grow(s.spanPages)
 	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(seed))
+		s.src = rand.NewSource(seed)
+		s.rng = rand.New(s.src)
 	} else {
 		s.rng.Seed(seed)
 	}
