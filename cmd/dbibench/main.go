@@ -8,6 +8,7 @@
 //	dbibench -experiment all -parallel 8    # fan cells out over 8 workers
 //	dbibench -experiment fig6 -check        # gate on the paper's ordering
 //	dbibench -experiment all -json out.json # machine-readable cell results
+//	dbibench -experiment all -listen :9187  # live ops plane (/metrics, /sweep)
 //
 // The runner table below is the single source of truth: the usage text
 // and the `all` set are both generated from it.
@@ -24,7 +25,9 @@ import (
 
 	"dbisim/internal/cliflags"
 	"dbisim/internal/experiments"
+	"dbisim/internal/obs"
 	"dbisim/internal/sweep"
+	"dbisim/internal/system"
 )
 
 // runner binds an experiment id to its implementation. Every runner
@@ -140,43 +143,59 @@ func main() {
 		progress = flag.Bool("progress", stderrIsTerminal(),
 			"report live per-sweep cell progress and ETA on stderr "+
 				"(defaults to on only when stderr is a terminal)")
+		ops cliflags.Ops
 	)
 	out.Register(flag.CommandLine,
 		"write per-cell metrics, wall clock and speedup to this JSON file (\"-\" for stdout)")
+	ops.Register(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
+
+	// Every stderr write goes through one TermLog, so log lines and the
+	// transient -progress line never interleave (and the TTY clearing
+	// sequences never land anywhere near -json's stdout).
+	term := obs.NewTermLog(os.Stderr)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dbibench: %v\n", err)
+			fmt.Fprintf(term, "dbibench: %v\n", err)
 			os.Exit(1)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "dbibench: cpu profile: %v\n", err)
+			fmt.Fprintf(term, "dbibench: cpu profile: %v\n", err)
 			os.Exit(1)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
 			f.Close()
-			fmt.Fprintf(os.Stderr, "dbibench: cpu profile -> %s\n", *cpuProfile)
+			fmt.Fprintf(term, "dbibench: cpu profile -> %s\n", *cpuProfile)
 		}()
 	}
 	if *memProfile != "" {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "dbibench: %v\n", err)
+				fmt.Fprintf(term, "dbibench: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle allocations so the heap profile is meaningful
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "dbibench: heap profile: %v\n", err)
+				fmt.Fprintf(term, "dbibench: heap profile: %v\n", err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "dbibench: heap profile -> %s\n", *memProfile)
+			fmt.Fprintf(term, "dbibench: heap profile -> %s\n", *memProfile)
 		}()
+	}
+
+	srv, err := ops.Start(nil, "dbibench", term)
+	if err != nil {
+		fmt.Fprintf(term, "dbibench: %v\n", err)
+		os.Exit(1)
+	}
+	if srv != nil {
+		defer srv.Close()
 	}
 
 	rec := &sweep.Recorder{}
@@ -186,7 +205,7 @@ func main() {
 	}
 	var prog *progressPrinter
 	if *progress {
-		prog = &progressPrinter{}
+		prog = newProgressPrinter(term)
 		o.Progress = prog.update
 	}
 
@@ -197,7 +216,7 @@ func main() {
 		}
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "dbibench: unknown experiment %q (valid: %s, all)\n",
+		fmt.Fprintf(term, "dbibench: unknown experiment %q (valid: %s, all)\n",
 			*name, strings.Join(experimentIDs(), ", "))
 		os.Exit(2)
 	}
@@ -210,14 +229,20 @@ func main() {
 		if prog != nil {
 			prog.setLabel(r.id)
 		}
+		poolBefore := system.PoolStat.Snapshot()
 		err := r.run(o)
 		prog.clear()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dbibench: %s: %v\n", r.id, err)
+			fmt.Fprintf(term, "dbibench: %s: %v\n", r.id, err)
 			os.Exit(1)
 		}
 		ran = append(ran, r.id)
-		fmt.Printf("[%s done in %v]\n", r.id, time.Since(expStart).Round(time.Millisecond))
+		pd := system.PoolStat.Snapshot().Sub(poolBefore)
+		fmt.Printf("[pool: %d forked, %d reset, %d rebuilt", pd.CkptHits, pd.Resets, pd.Rebuilds)
+		if pd.CkptHits+pd.CkptMisses > 0 {
+			fmt.Printf(", ckpt hit %.0f%%", 100*pd.CkptHitRate())
+		}
+		fmt.Printf("]\n[%s done in %v]\n", r.id, time.Since(expStart).Round(time.Millisecond))
 	}
 	wall := time.Since(start)
 
@@ -228,7 +253,7 @@ func main() {
 		}
 		rep := rec.Report(*seed, workers, !*full, ran, wall)
 		if err := out.Write(rep); err != nil {
-			fmt.Fprintf(os.Stderr, "dbibench: writing %s: %v\n", out.Path, err)
+			fmt.Fprintf(term, "dbibench: writing %s: %v\n", out.Path, err)
 			os.Exit(1)
 		}
 		fmt.Printf("[%d cells, busy %.1fs, wall %.1fs, speedup %.2fx -> %s]\n",
@@ -237,11 +262,11 @@ func main() {
 
 	if *check {
 		if fig6Result == nil {
-			fmt.Fprintln(os.Stderr, "dbibench: -check requires fig6 in the run (use -experiment fig6 or all)")
+			fmt.Fprintln(term, "dbibench: -check requires fig6 in the run (use -experiment fig6 or all)")
 			os.Exit(2)
 		}
 		if err := fig6Result.CheckPaperOrdering(); err != nil {
-			fmt.Fprintf(os.Stderr, "dbibench: %v\n", err)
+			fmt.Fprintf(term, "dbibench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println("[check ok: DBI+AWB+CLB > DBI+AWB > DAWB > VWQ > TA-DIP on gmean IPC]")

@@ -2,39 +2,38 @@ package main
 
 import (
 	"fmt"
-	"io"
 	"os"
 	"sync"
 	"time"
+
+	"dbisim/internal/obs"
 )
 
 // progressPrinter renders live sweep progress ("12/45 cells, ETA 30s")
-// on stderr. Updates arrive concurrently from the worker pool;
-// rendering is throttled so terminals are not flooded. A new sweep is
-// detected when the total changes or the done count restarts.
+// through a shared obs.TermLog, which serializes the transient line
+// against every other stderr write so log lines never splice into it.
+// Updates arrive concurrently from the worker pool; rendering is
+// throttled so terminals are not flooded. A new sweep is detected when
+// the total changes or the done count restarts.
 type progressPrinter struct {
 	mu      sync.Mutex
-	w       io.Writer // defaults to os.Stderr; swapped in tests
+	term    *obs.TermLog
 	label   string
 	start   time.Time
 	total   int
 	lastN   int
 	lastOut time.Time
 	active  bool
-	wrote   bool
+}
+
+func newProgressPrinter(term *obs.TermLog) *progressPrinter {
+	return &progressPrinter{term: term}
 }
 
 // etaWarmup is how long a sweep must have been running before an ETA
 // is trusted: extrapolating from the first cells of a sub-second-old
 // sweep amplifies startup jitter into nonsense estimates.
 const etaWarmup = time.Second
-
-func (p *progressPrinter) out() io.Writer {
-	if p.w == nil {
-		return os.Stderr
-	}
-	return p.w
-}
 
 // setLabel names the sweeps that follow (the experiment id).
 func (p *progressPrinter) setLabel(l string) {
@@ -67,12 +66,10 @@ func (p *progressPrinter) update(done, total int) {
 			eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 			line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
 		}
-		fmt.Fprintf(p.out(), "\r\x1b[2K%s", line)
-		p.wrote = true
+		p.term.SetProgress(line)
 		return
 	}
-	fmt.Fprintf(p.out(), "\r\x1b[2K%s\n", line)
-	p.wrote = false
+	p.term.EndProgress(line)
 }
 
 // clear erases a dangling progress line before normal output.
@@ -80,12 +77,7 @@ func (p *progressPrinter) clear() {
 	if p == nil {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.wrote {
-		fmt.Fprint(p.out(), "\r\x1b[2K")
-		p.wrote = false
-	}
+	p.term.ClearProgress()
 }
 
 // stderrIsTerminal reports whether stderr is attached to an

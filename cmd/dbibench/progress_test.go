@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dbisim/internal/obs"
 )
 
 // TestProgressThrottles verifies the 200ms render throttle: a flood of
@@ -12,7 +14,7 @@ import (
 // renders so 100% is never dropped.
 func TestProgressThrottles(t *testing.T) {
 	var buf bytes.Buffer
-	p := &progressPrinter{w: &buf}
+	p := newProgressPrinter(obs.NewTermLog(&buf))
 	p.setLabel("fig6")
 	for done := 1; done <= 9; done++ {
 		p.update(done, 10)
@@ -32,7 +34,7 @@ func TestProgressThrottles(t *testing.T) {
 	if !strings.Contains(out, "[fig6] 10/10 cells\n") {
 		t.Fatalf("final line missing or not newline-terminated: %q", out)
 	}
-	if p.wrote {
+	if p.term.Dirty() {
 		t.Fatal("printer still marked dirty after the final line")
 	}
 }
@@ -42,7 +44,7 @@ func TestProgressThrottles(t *testing.T) {
 // the ETA clock.
 func TestProgressLabelSwitch(t *testing.T) {
 	var buf bytes.Buffer
-	p := &progressPrinter{w: &buf}
+	p := newProgressPrinter(obs.NewTermLog(&buf))
 	p.setLabel("fig6")
 	p.update(5, 10)
 	p.setLabel("tab3")
@@ -66,7 +68,7 @@ func TestProgressLabelSwitch(t *testing.T) {
 // hold.
 func TestProgressETAGuard(t *testing.T) {
 	var buf bytes.Buffer
-	p := &progressPrinter{w: &buf}
+	p := newProgressPrinter(obs.NewTermLog(&buf))
 	p.setLabel("fig7")
 
 	p.update(1, 100) // brand-new sweep: elapsed ~0
@@ -96,10 +98,10 @@ func TestProgressETAGuard(t *testing.T) {
 // and that a nil printer is a no-op.
 func TestProgressClear(t *testing.T) {
 	var buf bytes.Buffer
-	p := &progressPrinter{w: &buf}
+	p := newProgressPrinter(obs.NewTermLog(&buf))
 	p.setLabel("tab7")
 	p.update(1, 10) // leaves a dangling line (no newline)
-	if !p.wrote {
+	if !p.term.Dirty() {
 		t.Fatal("mid-sweep update did not mark the line dangling")
 	}
 	before := buf.Len()
@@ -107,7 +109,7 @@ func TestProgressClear(t *testing.T) {
 	if !strings.HasSuffix(buf.String(), "\r\x1b[2K") {
 		t.Fatalf("clear did not erase the line: %q", buf.String())
 	}
-	if p.wrote {
+	if p.term.Dirty() {
 		t.Fatal("clear left the printer marked dirty")
 	}
 	p.clear() // idempotent: nothing more to erase

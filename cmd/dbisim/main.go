@@ -68,10 +68,12 @@ func main() {
 
 		tel cliflags.Telemetry
 		out cliflags.Output
+		ops cliflags.Ops
 	)
 	tel.Register(flag.CommandLine)
 	out.Register(flag.CommandLine,
 		"write machine-readable results to this file (sweep-record schema; \"-\" for stdout)")
+	ops.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -116,6 +118,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// The ops server scrapes this machine's component counters live.
+	// Reads are unsynchronized monitoring approximations (see
+	// System.RegisterMetrics); the simulated Results are untouched.
+	srv, err := ops.Start(sys.RegisterMetrics, "dbisim", os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbisim:", err)
+		os.Exit(1)
+	}
+	if srv != nil {
+		defer srv.Close()
 	}
 	r := sys.Run()
 

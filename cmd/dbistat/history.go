@@ -1,0 +1,157 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"dbisim/internal/perfstat"
+)
+
+// defaultHistoryColumns are the trajectory columns shown when -metrics
+// is not given: one throughput per suite tier plus the allocation
+// gate, the metrics PR-over-PR performance work actually moves.
+var defaultHistoryColumns = []string{
+	"micro/event.chain:ops_per_sec",
+	"micro/sim.stream:cycles_per_sec",
+	"macro/casestudy:cells_per_sec",
+	"macro/casestudy:allocs_per_cell",
+	"macro/clbsens:cells_per_sec",
+}
+
+// history implements `dbistat history`: scan a directory of
+// BENCH_*.json recordings (CI's bench-history artifact dir, or a
+// workspace that accumulated them) and print the cross-commit
+// trajectory of the key metrics, each with its percent change against
+// the previous recording.
+func history(args []string) {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	var (
+		dir  = fs.String("dir", ".", "directory holding BENCH_*.json recordings")
+		last = fs.Int("last", 0, "show only the most recent n recordings (0 = all)")
+		cols = fs.String("metrics", strings.Join(defaultHistoryColumns, ","),
+			"comma-separated benchmark:metric columns")
+	)
+	fs.Parse(args)
+	reps, err := loadHistory(*dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(reps) == 0 {
+		fatalf("no readable BENCH_*.json recordings in %s", *dir)
+	}
+	if *last > 0 && len(reps) > *last {
+		reps = reps[len(reps)-*last:]
+	}
+	writeHistoryTable(os.Stdout, reps, strings.Split(*cols, ","))
+}
+
+// loadHistory reads every BENCH_*.json under dir, warning about (and
+// skipping) unreadable ones, and returns the rest oldest-first.
+func loadHistory(dir string) ([]*perfstat.Report, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var reps []*perfstat.Report
+	for _, p := range paths {
+		r, err := perfstat.ReadReport(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbistat: skipping %s: %v\n", p, err)
+			continue
+		}
+		reps = append(reps, r)
+	}
+	sort.SliceStable(reps, func(i, j int) bool {
+		if reps[i].RecordedAt != reps[j].RecordedAt {
+			return reps[i].RecordedAt < reps[j].RecordedAt
+		}
+		return reps[i].Env.GitSHA < reps[j].Env.GitSHA
+	})
+	return reps, nil
+}
+
+// metricMean returns the mean of bench's metric in r, false when the
+// recording does not carry it.
+func metricMean(r *perfstat.Report, bench, metric string) (float64, bool) {
+	b := r.Benchmark(bench)
+	if b == nil {
+		return 0, false
+	}
+	s, ok := b.Metrics[metric]
+	if !ok || s.N == 0 {
+		return 0, false
+	}
+	return s.Mean, true
+}
+
+// histValue humanizes a metric mean with an SI suffix.
+func histValue(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// writeHistoryTable renders one row per recording, oldest first. Each
+// metric cell shows the mean and, from the second row a metric appears
+// in onward, the percent change against the previous recording that
+// carried it.
+func writeHistoryTable(w io.Writer, reps []*perfstat.Report, cols []string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "sha\tdate\trounds")
+	for _, c := range cols {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw)
+
+	prev := map[string]float64{}
+	for _, r := range reps {
+		sha := r.Env.GitSHA
+		if sha == "" {
+			sha = "(unversioned)"
+		} else if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		date := r.RecordedAt
+		if len(date) >= 10 {
+			date = date[:10]
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d", sha, date, r.Rounds)
+		for _, c := range cols {
+			bench, metric, ok := strings.Cut(c, ":")
+			if !ok {
+				fmt.Fprint(tw, "\t?")
+				continue
+			}
+			v, found := metricMean(r, bench, metric)
+			if !found {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			cell := histValue(v)
+			if p, seen := prev[c]; seen && p != 0 {
+				cell += fmt.Sprintf(" (%+.1f%%)", 100*(v-p)/p)
+			}
+			prev[c] = v
+			fmt.Fprintf(tw, "\t%s", cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

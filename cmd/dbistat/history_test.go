@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbisim/internal/perfstat"
+)
+
+// fakeReport writes one BENCH_*.json recording to dir with a single
+// metric value.
+func fakeReport(t *testing.T, dir, sha, at string, v float64) {
+	t.Helper()
+	r := perfstat.NewReport(perfstat.Env{GitSHA: sha}, 3, "all", 42, []perfstat.Benchmark{{
+		Name: "micro/event.chain",
+		Kind: perfstat.KindMicro,
+		Metrics: map[string]perfstat.Summary{
+			"ops_per_sec": perfstat.Summarize([]float64{v}),
+		},
+	}})
+	r.RecordedAt = at
+	if err := r.WriteFile(filepath.Join(dir, "BENCH_"+sha[:12]+".json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistoryTable pins the trajectory table: recordings come back
+// oldest-first regardless of filename order, values humanize, and each
+// row carries the percent delta against the previous one.
+func TestHistoryTable(t *testing.T) {
+	dir := t.TempDir()
+	// Written newest-first to prove ordering comes from RecordedAt.
+	fakeReport(t, dir, "bbbbbbbbbbbbbbbb", "2026-08-02T00:00:00Z", 1.1e6)
+	fakeReport(t, dir, "aaaaaaaaaaaaaaaa", "2026-08-01T00:00:00Z", 1.0e6)
+	// A corrupt file is skipped, not fatal.
+	os.WriteFile(filepath.Join(dir, "BENCH_broken.json"), []byte("{"), 0o644)
+
+	reps, err := loadHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("loaded %d reports, want 2", len(reps))
+	}
+	if reps[0].Env.GitSHA[0] != 'a' || reps[1].Env.GitSHA[0] != 'b' {
+		t.Fatalf("reports not oldest-first: %s then %s", reps[0].Env.GitSHA, reps[1].Env.GitSHA)
+	}
+
+	var buf bytes.Buffer
+	writeHistoryTable(&buf, reps, []string{"micro/event.chain:ops_per_sec", "macro/none:missing"})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "aaaaaaaaaaaa") || !strings.Contains(lines[1], "1.00M") {
+		t.Errorf("first row wrong: %q", lines[1])
+	}
+	if strings.Contains(lines[1], "%") {
+		t.Errorf("first row must not carry a delta: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "1.10M") || !strings.Contains(lines[2], "(+10.0%)") {
+		t.Errorf("second row missing value or delta: %q", lines[2])
+	}
+	// The absent metric renders as a dash in every row.
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "-") {
+			t.Errorf("missing-metric dash absent in %q", l)
+		}
+	}
+}

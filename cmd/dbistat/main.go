@@ -9,6 +9,7 @@
 //	dbistat record -suite micro           # micro loops only
 //	dbistat diff old.json new.json        # significance-annotated delta table
 //	dbistat diff -threshold 0.25 a.json b.json
+//	dbistat history -dir bench-history    # cross-commit perf trajectory table
 //
 // `record` executes every target N times in interleaved rounds and
 // writes a schema-versioned JSON document with environment metadata
@@ -25,13 +26,15 @@ import (
 	"fmt"
 	"os"
 
+	"dbisim/internal/cliflags"
 	"dbisim/internal/perfstat"
 )
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  dbistat record [-o file] [-rounds n] [-suite all|micro|macro] [-seed n]
+  dbistat record [-o file] [-rounds n] [-suite all|micro|macro] [-seed n] [-listen addr]
   dbistat diff [-alpha a] [-threshold t] old.json new.json
+  dbistat history [-dir d] [-last n] [-metrics bench:metric,...]
 `)
 	os.Exit(2)
 }
@@ -45,6 +48,8 @@ func main() {
 		record(os.Args[2:])
 	case "diff":
 		diff(os.Args[2:])
+	case "history":
+		history(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "dbistat: unknown subcommand %q\n", os.Args[1])
 		usage()
@@ -58,10 +63,19 @@ func record(args []string) {
 		rounds = fs.Int("rounds", 5, "interleaved rounds per target")
 		kind   = fs.String("suite", "all", "target set: all, micro or macro")
 		seed   = fs.Int64("seed", 42, "simulation seed for sim-backed targets")
+		ops    cliflags.Ops
 	)
+	ops.Register(fs)
 	fs.Parse(args)
 	if *kind != "all" && *kind != perfstat.KindMicro && *kind != perfstat.KindMacro {
 		fatalf("unknown suite %q (want all, micro or macro)", *kind)
+	}
+	srv, err := ops.Start(nil, "dbistat", os.Stderr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if srv != nil {
+		defer srv.Close()
 	}
 
 	env := perfstat.CaptureEnv()

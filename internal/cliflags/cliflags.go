@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 
+	"dbisim/internal/obs"
 	"dbisim/internal/system"
 	"dbisim/internal/telemetry"
 )
@@ -73,6 +74,44 @@ func (t *Telemetry) WriteArtifacts(sys *system.System, prog string, errw io.Writ
 			prog, len(ts.Samples), len(ts.Metrics), t.TimeSeriesPath)
 	}
 	return nil
+}
+
+// Ops is the live ops-plane flag cluster (-listen, -flightrecord),
+// shared by the CLIs. Off by default: with no -listen the process runs
+// exactly as before the ops plane existed.
+type Ops struct {
+	Listen     string
+	FlightPath string
+}
+
+// Register installs the -listen and -flightrecord flags.
+func (o *Ops) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Listen, "listen", "",
+		"serve the live ops plane on this address (/metrics, /sweep, /debug/pprof, "+
+			"/debug/flightrecord); empty disables it")
+	fs.StringVar(&o.FlightPath, "flightrecord", "flightrecord.json",
+		"with -listen, dump the flight recorder (Chrome trace JSON) here on panic or SIGQUIT")
+}
+
+// Start boots the ops server when -listen was given, logging the bound
+// address to errw prefixed with prog. register, when non-nil, adds
+// caller-specific probes to the served metrics registry. Returns (nil,
+// nil) when the plane is disabled.
+func (o *Ops) Start(register func(*telemetry.Registry), prog string, errw io.Writer) (*obs.Server, error) {
+	if o.Listen == "" {
+		return nil, nil
+	}
+	srv, err := obs.Start(obs.Config{
+		Addr:       o.Listen,
+		FlightPath: o.FlightPath,
+		Register:   register,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(errw, "%s: ops plane on http://%s (flight record -> %s on panic/SIGQUIT)\n",
+		prog, srv.Addr(), o.FlightPath)
+	return srv, nil
 }
 
 // Output is the -json machine-readable output flag.

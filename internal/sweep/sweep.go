@@ -136,34 +136,65 @@ func RunState[T, W any](cells []StateCell[T, W], workers int, progress func(done
 	outs := make([]Outcome[T], len(cells))
 	errs := make([]error, len(cells))
 
+	// One atomic load decides whether this sweep publishes to the live
+	// monitor; disabled, the per-cell path below is untouched.
+	label := ""
+	if len(cells) > 0 {
+		label = cells[0].Key.Experiment
+	}
+	live := Live.begin(label, workers, len(cells))
+
 	var failed atomic.Bool
 	var done atomic.Int64
 	work := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var state W
+			// Worker states that can attribute their decisions to a
+			// lane (pool/fork event streams) learn their index here.
+			if sw, ok := any(&state).(interface{ SetWorker(int) }); ok {
+				sw.SetWorker(w)
+			}
 			// Worker states that hold onto expensive resources (warmed
 			// machines) may implement Release to hand them to the next
 			// sweep when this worker retires.
 			if r, ok := any(&state).(interface{ Release() }); ok {
 				defer r.Release()
 			}
+			if live {
+				// Give the ops plane a last look (flight-recorder
+				// flush) before a cell panic takes the process down.
+				defer func() {
+					if r := recover(); r != nil {
+						Live.workerPanic(w, r)
+						panic(r)
+					}
+				}()
+			}
 			for chain := range work {
 				for _, i := range chain {
 					if failed.Load() {
 						continue
 					}
+					if live {
+						Live.cellStart(w, cells[i].Key)
+					}
 					start := time.Now()
 					v, err := cells[i].Run(&state)
+					elapsed := time.Since(start)
+					if live {
+						Live.cellEnd(w, elapsed, err)
+					}
 					if err != nil {
 						errs[i] = err
 						failed.Store(true)
 						continue
 					}
-					outs[i] = Outcome[T]{Key: cells[i].Key, Value: v, Elapsed: time.Since(start)}
+					outs[i] = Outcome[T]{Key: cells[i].Key, Value: v, Elapsed: elapsed}
 					perfstat.CellDone(1)
 					if progress != nil {
 						progress(int(done.Add(1)), len(cells))
@@ -177,6 +208,9 @@ func RunState[T, W any](cells []StateCell[T, W], workers int, progress func(done
 	}
 	close(work)
 	wg.Wait()
+	if live {
+		Live.end()
+	}
 
 	for i, err := range errs {
 		if err != nil {

@@ -80,6 +80,7 @@ func (m *forkMachine) take(key string, clock uint64) *forkCkpt {
 		m.ckpts = append(m.ckpts[:lru], m.ckpts[lru+1:]...)
 		c.key, c.stamp = key, clock
 		m.ckpts = append(m.ckpts, c)
+		PoolStat.CkptEvictions.Add(1)
 		return c
 	}
 	c := &forkCkpt{key: key, stamp: clock}
@@ -102,12 +103,23 @@ func (m *forkMachine) take(key string, clock uint64) *forkCkpt {
 // sweep's workers to adopt — that is what amortizes warmup across
 // repeated sweeps (a dbistat round, a clbsens-style multi-config
 // macro).
+//
+// Every decision the pool makes increments the process-wide PoolStat
+// counters and (when the ops plane installed a hook) emits a flight-
+// recorder event, so fork/reset/rebuild mix, LRU evictions and refusal
+// reasons are visible live.
 type ForkPool struct {
 	machines []*forkMachine
 	clock    uint64
 	plain    Pool
 	adopted  bool
 }
+
+// SetWorker labels the pool (and its plain fallback) with the owning
+// sweep worker's index for ops-plane event attribution.
+func (p *ForkPool) SetWorker(w int) { p.plain.SetWorker(w) }
+
+func (p *ForkPool) workerID() int { return p.plain.workerID() }
 
 // sharedPools carries released machine sets across ForkPool lifetimes.
 var (
@@ -125,8 +137,13 @@ func (p *ForkPool) adopt() {
 		p.machines = sharedPools[n-1]
 		sharedPools[n-1] = nil
 		sharedPools = sharedPools[:n-1]
+		PoolStat.Adopts.Add(1)
+		PoolStat.AdoptStackDepth.Add(-1)
 	}
 	sharedPoolsMu.Unlock()
+	if len(p.machines) > 0 {
+		poolEvent(p.workerID(), "adopt", "")
+	}
 }
 
 // Release hands the pool's machines to the process-wide stack (dropped
@@ -142,8 +159,11 @@ func (p *ForkPool) Release() {
 	sharedPoolsMu.Lock()
 	if len(sharedPools) < sharedPoolCap {
 		sharedPools = append(sharedPools, m)
+		PoolStat.Releases.Add(1)
+		PoolStat.AdoptStackDepth.Add(1)
 	}
 	sharedPoolsMu.Unlock()
+	poolEvent(p.workerID(), "release", "")
 }
 
 func (p *ForkPool) machine(sig config.SystemConfig) *forkMachine {
@@ -169,6 +189,8 @@ func (p *ForkPool) insert(sys *System, sig config.SystemConfig) *forkMachine {
 			}
 		}
 		p.machines = append(p.machines[:lru], p.machines[lru+1:]...)
+		PoolStat.MachineEvictions.Add(1)
+		poolEvent(p.workerID(), "evict:machine", "")
 	}
 	p.machines = append(p.machines, m)
 	return m
@@ -179,9 +201,11 @@ func (p *ForkPool) insert(sys *System, sig config.SystemConfig) *forkMachine {
 func (p *ForkPool) Run(cfg config.SystemConfig, benches []string, seed int64) (Results, error) {
 	if os.Getenv(NoForkEnv) != "" || !Forkable() ||
 		cfg.WarmupInstructions == 0 || cfg.MeasureInstructions == 0 {
+		PoolStat.RefusedDisabled.Add(1)
 		return p.plain.Run(cfg, benches, seed)
 	}
 	if os.Getenv(NoPoolEnv) != "" {
+		PoolStat.RefusedDisabled.Add(1)
 		return p.plain.Run(cfg, benches, seed)
 	}
 	p.adopt()
@@ -197,14 +221,19 @@ func (p *ForkPool) Run(cfg config.SystemConfig, benches []string, seed int64) (R
 			c.stamp = p.clock
 			if err := m.sys.Restore(cfg, &c.ck); err == nil {
 				if res, err := m.sys.RunMeasure(); err == nil {
+					PoolStat.CkptHits.Add(1)
+					poolEvent(p.workerID(), "fork", "")
 					return res, nil
 				}
 			}
 			// Unusable checkpoint (or unforkable budget): drop it and
 			// warm from scratch below.
 			m.drop(key)
+			PoolStat.RefusedRestore.Add(1)
+			poolEvent(p.workerID(), "refuse:restore", "checkpoint dropped")
 		}
 	}
+	PoolStat.CkptMisses.Add(1)
 
 	// Slow path: get a machine at this cell's run state, warm it,
 	// checkpoint the boundary, then measure.
@@ -214,27 +243,43 @@ func (p *ForkPool) Run(cfg config.SystemConfig, benches []string, seed int64) (R
 			return Results{}, err
 		}
 		m = p.insert(sys, sig)
-	} else if err := m.sys.Reset(cfg, benches, seed); err != nil {
-		return Results{}, err
+		PoolStat.Rebuilds.Add(1)
+		poolEvent(p.workerID(), "rebuild", "new fork machine")
+	} else {
+		if err := m.sys.Reset(cfg, benches, seed); err != nil {
+			return Results{}, err
+		}
+		PoolStat.Resets.Add(1)
+		poolEvent(p.workerID(), "reset", "warming for checkpoint")
 	}
 	if err := m.sys.RunWarmup(); err != nil {
-		// Phase-split refused (telemetry, zero warmup — both excluded
-		// above, so this is unreachable in practice). The machine is
-		// untouched; run it whole.
+		// Phase-split refused (zero warmup is excluded above, so this
+		// is unreachable in practice). The machine is untouched; run it
+		// whole.
+		PoolStat.RefusedWarmup.Add(1)
+		poolEvent(p.workerID(), "refuse:warmup", err.Error())
 		return m.sys.Run(), nil
 	}
 	p.clock++
 	c := m.take(key, p.clock)
 	if err := m.sys.Snapshot(&c.ck); err != nil {
 		m.drop(key)
+		PoolStat.RefusedSnapshot.Add(1)
+		poolEvent(p.workerID(), "refuse:snapshot", err.Error())
+	} else {
+		PoolStat.CkptTaken.Add(1)
+		poolEvent(p.workerID(), "warm", "checkpoint taken")
 	}
 	res, err := m.sys.RunMeasure()
 	if err != nil {
 		// A core overran its measurement budget during the warmup
 		// overhang; only a scratch run reproduces that cell.
+		PoolStat.RefusedOverhang.Add(1)
+		poolEvent(p.workerID(), "refuse:overhang", err.Error())
 		if rerr := m.sys.Reset(cfg, benches, seed); rerr != nil {
 			return Results{}, rerr
 		}
+		PoolStat.Resets.Add(1)
 		return m.sys.Run(), nil
 	}
 	return res, err

@@ -24,6 +24,24 @@ const NoPoolEnv = "DBISIM_NO_POOL"
 type Pool struct {
 	sys *System
 	sig config.SystemConfig
+
+	// worker is the owning sweep worker's index (-1 when unassigned),
+	// carried into the ops-plane pool events.
+	worker    int
+	workerSet bool
+}
+
+// SetWorker labels the pool with its owning sweep worker's index, so
+// ops-plane events attribute decisions to worker lanes. The sweep
+// scheduler calls it once per worker state; it has no effect on
+// simulation.
+func (p *Pool) SetWorker(w int) { p.worker, p.workerSet = w, true }
+
+func (p *Pool) workerID() int {
+	if !p.workerSet {
+		return -1
+	}
+	return p.worker
 }
 
 // Run executes one cell — warmup plus measurement — on the pooled
@@ -36,17 +54,25 @@ func (p *Pool) Run(cfg config.SystemConfig, benches []string, seed int64) (Resul
 		if err != nil {
 			return Results{}, err
 		}
+		PoolStat.Rebuilds.Add(1)
+		poolEvent(p.workerID(), "rebuild", "pooling disabled ("+NoPoolEnv+")")
 		return sys.Run(), nil
 	}
 	if p.sys != nil && p.sig == Signature(cfg) {
 		if err := p.sys.Reset(cfg, benches, seed); err == nil {
+			PoolStat.Resets.Add(1)
+			poolEvent(p.workerID(), "reset", "")
 			return p.sys.Run(), nil
 		}
+		PoolStat.ResetRefusals.Add(1)
+		poolEvent(p.workerID(), "refuse:reset", "reset refused; rebuilding")
 	}
 	sys, err := New(cfg, benches, seed)
 	if err != nil {
 		return Results{}, err
 	}
 	p.sys, p.sig = sys, Signature(cfg)
+	PoolStat.Rebuilds.Add(1)
+	poolEvent(p.workerID(), "rebuild", "")
 	return sys.Run(), nil
 }

@@ -70,13 +70,18 @@ func Forkable() bool { return randstate.Supported() }
 // stopped with all in-flight events still queued. A subsequent
 // RunMeasure — immediately or after Restore — continues the run
 // bit-identically.
+//
+// Telemetry survives the split: an attached tracer keeps emitting, and
+// an attached epoch sampler arms here and keeps ticking through
+// RunMeasure, so a split run's time series equals a monolithic Run's
+// (TestTelemetrySplitPhaseMatchesMonolithic). Such a machine still
+// cannot be snapshotted, restored, or reset — those refusals stand —
+// so the fork scheduler only ever forks telemetry-free machines.
 func (s *System) RunWarmup() error {
-	if s.tracer != nil || s.sampler != nil {
-		return fmt.Errorf("system: cannot run split phases with telemetry attached")
-	}
 	if s.Cfg.WarmupInstructions == 0 {
 		return fmt.Errorf("system: RunWarmup requires a warmup budget")
 	}
+	s.armSampler()
 	warming := len(s.Cores)
 	for _, c := range s.Cores {
 		c := c
@@ -128,6 +133,7 @@ func (s *System) RunMeasure() (Results, error) {
 		})
 	}
 	s.Eng.Run()
+	s.finishSampler()
 	return s.harvest(), nil
 }
 

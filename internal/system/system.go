@@ -36,6 +36,12 @@ type System struct {
 
 	tracer  *telemetry.Tracer
 	sampler *telemetry.Sampler
+	// samplerStop finishes an armed epoch sampler. It is non-nil only
+	// while the sampler's Every event is live, which may span a
+	// RunWarmup/RunMeasure phase split: the sampler arms at the first
+	// phase and finishes when the measurement phase completes, so a
+	// split run exports the same time series as a monolithic Run.
+	samplerStop func()
 
 	// Self-throughput baselines, captured at Run entry when time series
 	// are armed. They live in the host domain (wall clock, allocation
@@ -219,6 +225,16 @@ func (s *System) attachTracer(t *telemetry.Tracer) {
 // Tracer returns the attached tracer (nil when tracing is off).
 func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
 
+// RegisterMetrics adds every component's probes to the caller's
+// registry after construction — the hook cmd/dbisim uses to expose a
+// live single-run registry on the ops-plane /metrics endpoint without
+// routing it through the epoch sampler. Component counters are plain
+// (non-atomic) uint64s, so values scraped mid-run are monitoring
+// approximations; they are exact whenever the engine is quiescent.
+func (s *System) RegisterMetrics(reg *telemetry.Registry) {
+	s.registerComponentMetrics(reg)
+}
+
 // registerComponentMetrics adds every component's probes to a registry.
 func (s *System) registerComponentMetrics(reg *telemetry.Registry) {
 	for _, c := range s.Cores {
@@ -310,26 +326,45 @@ func (s *System) takeSnapshot() snapshot {
 	return sn
 }
 
+// armSampler arms the epoch sampler's engine event and captures the
+// host-domain baselines for the self.* gauges. It is idempotent: a
+// sampler armed by RunWarmup stays armed across the phase split until
+// finishSampler runs at the end of the measurement phase.
+func (s *System) armSampler() {
+	if s.sampler == nil || s.samplerStop != nil {
+		return
+	}
+	s.perfStart = time.Now()
+	s.perfCells = perfstat.CellCount()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.perfMallocs = m.Mallocs
+	smp := s.sampler
+	cancel := s.Eng.Every(event.Cycle(smp.Epoch()), func() {
+		smp.Tick(uint64(s.Eng.Now()))
+	})
+	s.samplerStop = func() {
+		cancel()
+		smp.Finish(uint64(s.Eng.Now()))
+	}
+}
+
+// finishSampler cancels the epoch event and records the final
+// partial-epoch sample, if a sampler is armed.
+func (s *System) finishSampler() {
+	if s.samplerStop != nil {
+		s.samplerStop()
+		s.samplerStop = nil
+	}
+}
+
 // Run executes warmup then measurement on every core and returns the
 // harvested results. Cores that finish early keep executing (preserving
 // contention) until the last core completes its measured budget. Global
 // rates are measured from the moment the last core finishes warmup.
 func (s *System) Run() Results {
-	if s.sampler != nil {
-		s.perfStart = time.Now()
-		s.perfCells = perfstat.CellCount()
-		var m runtime.MemStats
-		runtime.ReadMemStats(&m)
-		s.perfMallocs = m.Mallocs
-		smp := s.sampler
-		cancel := s.Eng.Every(event.Cycle(smp.Epoch()), func() {
-			smp.Tick(uint64(s.Eng.Now()))
-		})
-		defer func() {
-			cancel()
-			smp.Finish(uint64(s.Eng.Now()))
-		}()
-	}
+	s.armSampler()
+	defer s.finishSampler()
 	remaining := len(s.Cores)
 	warming := len(s.Cores)
 	for _, c := range s.Cores {

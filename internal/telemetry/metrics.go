@@ -105,6 +105,48 @@ func (r *Registry) Histogram(name string, h *stats.Histogram) {
 	r.hists = append(r.hists, histProbe{name: name, h: h})
 }
 
+// Kind labels for EachScalar (the probeKind names exported to readers
+// that render the registry, e.g. the Prometheus exposition writer).
+const (
+	KindCounter = "counter"
+	KindGauge   = "gauge"
+)
+
+// EachScalar calls fn once per registered scalar probe, in registration
+// order, with the probe's kind label and its current cumulative (for
+// counters) or instantaneous (for gauges) value. It never touches the
+// sampler's delta state, so scraping and epoch sampling compose.
+//
+// Concurrency: EachScalar reads through the probe closures with no
+// locking, so a registry served live (the ops-plane /metrics endpoint)
+// must only hold probes whose reads are safe under concurrency —
+// atomics, or counters whose torn reads are acceptable as monitoring
+// approximations. Registration must be complete before serving starts.
+func (r *Registry) EachScalar(fn func(name, kind string, v float64)) {
+	if r == nil {
+		return
+	}
+	for i := range r.probes {
+		p := &r.probes[i]
+		kind := KindCounter
+		if p.kind == kindGauge {
+			kind = KindGauge
+		}
+		fn(p.name, kind, p.fn())
+	}
+}
+
+// EachHistogram calls fn once per registered histogram, in registration
+// order. The same concurrency caveat as EachScalar applies.
+func (r *Registry) EachHistogram(fn func(name string, h *stats.Histogram)) {
+	if r == nil {
+		return
+	}
+	for _, hp := range r.hists {
+		fn(hp.name, hp.h)
+	}
+}
+
 // Names returns the registered scalar metric names in column order.
 func (r *Registry) Names() []string {
 	if r == nil {
