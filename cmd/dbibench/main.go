@@ -143,6 +143,9 @@ func main() {
 		progress = flag.Bool("progress", stderrIsTerminal(),
 			"report live per-sweep cell progress and ETA on stderr "+
 				"(defaults to on only when stderr is a terminal)")
+		attr = flag.Bool("attr", false,
+			"attach cycle/bandwidth attribution ledgers to every cell; "+
+				"-json records gain an attr block (analyze with dbiscope)")
 		ops cliflags.Ops
 	)
 	out.Register(flag.CommandLine,
@@ -188,6 +191,10 @@ func main() {
 			fmt.Fprintf(term, "dbibench: heap profile -> %s\n", *memProfile)
 		}()
 	}
+
+	// The pool schedulers construct Systems internally, so the -attr
+	// flag reaches them through the process-wide default.
+	system.SetAttributionEnabled(*attr)
 
 	srv, err := ops.Start(nil, "dbibench", term)
 	if err != nil {

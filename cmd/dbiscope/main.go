@@ -1,0 +1,61 @@
+// Command dbiscope is the offline analyzer for attribution data: it
+// reads result JSON produced by `dbisim -attr -json` or `dbibench
+// -attr -json` and answers "where did the simulated cycles and DRAM
+// bytes go?" top-down, the way a hardware profiler's attribution view
+// would.
+//
+// Usage:
+//
+//	dbiscope report out.json              # percent-of-total tables per domain
+//	dbiscope report -cell mcf out.json    # only cells whose key contains "mcf"
+//	dbiscope report -window warmup x.json # warmup window instead of measure
+//	dbiscope diff base.json new.json      # categories ranked by delta
+//	dbiscope diff -cell fig6 a.json b.json
+//
+// `report` aggregates the selected cells' attribution windows and
+// prints one table per domain with each category's share of the domain
+// total, followed by a reconciliation line per closed domain proving
+// the categories sum exactly to the independently-counted total (a
+// mismatch makes the exit status non-zero — it means an instrumentation
+// call site is missing). Open domains (cpu, dbi) report shares of the
+// window's simulated cycles instead; those shares may exceed 100%
+// because cores overlap in time (see DESIGN.md §11 for the overlap
+// semantics).
+//
+// `diff` aggregates two files the same way and ranks categories by
+// absolute delta, the first question after a mechanism change: which
+// traffic class moved?
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  dbiscope report [-cell substr] [-window measure|warmup|both] file.json
+  dbiscope diff [-cell substr] [-window measure|warmup] base.json new.json
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = reportCmd(os.Args[2:], os.Stdout)
+	case "diff":
+		err = diffCmd(os.Args[2:], os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "dbiscope: unknown subcommand %q\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbiscope:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"dbisim/internal/sweep"
+	"dbisim/internal/telemetry"
+)
+
+// loadRecords reads either a dbibench sweep Report (top-level "cells"
+// array) or a single dbisim Record, returning the cells that match the
+// -cell substring filter and carry attribution data.
+func loadRecords(path, cellFilter string) ([]sweep.Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep sweep.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	recs := rep.Cells
+	if len(recs) == 0 {
+		var one sweep.Record
+		if err := json.Unmarshal(data, &one); err != nil || one.Key == "" {
+			return nil, fmt.Errorf("%s: neither a sweep report nor a cell record", path)
+		}
+		recs = []sweep.Record{one}
+	}
+	var out []sweep.Record
+	var withoutAttr int
+	for _, r := range recs {
+		if cellFilter != "" && !strings.Contains(r.Key, cellFilter) {
+			continue
+		}
+		if r.Attr == nil {
+			withoutAttr++
+			continue
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		if withoutAttr > 0 {
+			return nil, fmt.Errorf("%s: %d matching cell(s) but none carry attribution data (rerun with -attr)", path, withoutAttr)
+		}
+		return nil, fmt.Errorf("%s: no cells match %q", path, cellFilter)
+	}
+	return out, nil
+}
+
+// agg is the sum of one window kind across the selected cells: total
+// simulated cycles plus per-category and per-domain charges by name.
+type agg struct {
+	cells  int
+	cycles uint64
+	cats   map[string]uint64
+	doms   map[string]uint64
+}
+
+func (a *agg) add(w telemetry.AttrWindow) {
+	a.cells++
+	a.cycles += w.Cycles
+	for k, v := range w.Categories {
+		a.cats[k] += v
+	}
+	for k, v := range w.Domains {
+		a.doms[k] += v
+	}
+}
+
+// aggregate sums the chosen windows ("measure", "warmup" or "both")
+// across records, reconciling each window first so a corrupt or
+// version-skewed file fails before any numbers are printed.
+func aggregate(recs []sweep.Record, window string) (*agg, error) {
+	a := &agg{cats: map[string]uint64{}, doms: map[string]uint64{}}
+	for _, r := range recs {
+		for _, w := range []struct {
+			name string
+			win  telemetry.AttrWindow
+		}{{"warmup", r.Attr.Warmup}, {"measure", r.Attr.Measure}} {
+			if window != "both" && window != w.name {
+				continue
+			}
+			if err := w.win.Reconcile(); err != nil {
+				return nil, fmt.Errorf("cell %s %s window: %v", r.Key, w.name, err)
+			}
+			a.add(w.win)
+		}
+	}
+	a.cells = len(recs)
+	return a, nil
+}
+
+func parseWindow(s string, allowBoth bool) (string, error) {
+	switch s {
+	case "measure", "warmup":
+		return s, nil
+	case "both":
+		if allowBoth {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("invalid -window %q", s)
+}
+
+// reportCmd implements `dbiscope report`.
+func reportCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	cell := fs.String("cell", "", "only cells whose key contains this substring")
+	window := fs.String("window", "measure", "which window to report: measure, warmup or both")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report wants exactly one file, got %d", fs.NArg())
+	}
+	win, err := parseWindow(*window, true)
+	if err != nil {
+		return err
+	}
+	recs, err := loadRecords(fs.Arg(0), *cell)
+	if err != nil {
+		return err
+	}
+	a, err := aggregate(recs, win)
+	if err != nil {
+		return err
+	}
+	return writeReport(w, fs.Arg(0), win, a)
+}
+
+// writeReport renders one percent-of-total table per domain plus the
+// reconciliation summary. Aggregated windows reconcile iff every
+// constituent window did (sums of equal sums are equal), and aggregate
+// already verified each one — the recheck here is on the summed
+// numbers the reader actually sees.
+func writeReport(w io.Writer, path, window string, a *agg) error {
+	fmt.Fprintf(w, "dbiscope report — %s (%d cell(s), %s window)\n", path, a.cells, window)
+	fmt.Fprintf(w, "window length: %d simulated cycles (summed across cells)\n", a.cycles)
+
+	cats := telemetry.AttrCategories()
+	for _, d := range telemetry.AttrDomains() {
+		var rows []struct {
+			name string
+			n    uint64
+		}
+		var sum uint64
+		for _, c := range cats {
+			if c.Domain != d.Name {
+				continue
+			}
+			if n := a.cats[c.Name]; n != 0 {
+				rows = append(rows, struct {
+					name string
+					n    uint64
+				}{c.Name, n})
+				sum += n
+			}
+		}
+		if len(rows) == 0 && a.doms[d.Name] == 0 {
+			continue
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+
+		// Closed domains show share of the independently-counted
+		// total; open ones show share of simulated window cycles,
+		// which may exceed 100% (components overlap in time).
+		denom := a.doms[d.Name]
+		denomName := "domain total"
+		if !d.Closed {
+			denom = a.cycles
+			denomName = "window cycles"
+		}
+		fmt.Fprintf(w, "\n%s (%s, ", d.Name, d.Unit)
+		if d.Closed {
+			fmt.Fprintf(w, "closed)\n")
+		} else {
+			fmt.Fprintf(w, "open)\n")
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, r := range rows {
+			fmt.Fprintf(tw, "  %s\t%d\t%s\n", r.name, r.n, percent(r.n, denom))
+		}
+		if d.Closed {
+			fmt.Fprintf(tw, "  total\t%d\t= 100%% of %s\n", denom, denomName)
+		} else {
+			fmt.Fprintf(tw, "  (shares of %d %s; may exceed 100%%)\t\t\n", denom, denomName)
+		}
+		tw.Flush()
+		if d.Closed {
+			if sum != a.doms[d.Name] {
+				return fmt.Errorf("domain %s does not reconcile: categories sum to %d %s, total charged %d",
+					d.Name, sum, d.Unit, a.doms[d.Name])
+			}
+			fmt.Fprintf(w, "  reconciled: %d categories sum exactly to the %s total\n", len(rows), d.Name)
+		}
+	}
+	return nil
+}
+
+func percent(n, denom uint64) string {
+	if denom == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(denom))
+}
+
+// diffCmd implements `dbiscope diff`: aggregate two files the same way
+// and rank categories by how much they moved.
+func diffCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	cell := fs.String("cell", "", "only cells whose key contains this substring")
+	window := fs.String("window", "measure", "which window to diff: measure or warmup")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff wants exactly two files, got %d", fs.NArg())
+	}
+	win, err := parseWindow(*window, false)
+	if err != nil {
+		return err
+	}
+	aggs := make([]*agg, 2)
+	for i := 0; i < 2; i++ {
+		recs, err := loadRecords(fs.Arg(i), *cell)
+		if err != nil {
+			return err
+		}
+		if aggs[i], err = aggregate(recs, win); err != nil {
+			return err
+		}
+	}
+	writeDiff(w, fs.Arg(0), fs.Arg(1), win, aggs[0], aggs[1])
+	return nil
+}
+
+func writeDiff(w io.Writer, pathA, pathB, window string, a, b *agg) {
+	fmt.Fprintf(w, "dbiscope diff — %s (%d cell(s)) vs %s (%d cell(s)), %s window\n",
+		pathA, a.cells, pathB, b.cells, window)
+	fmt.Fprintf(w, "window length: %d -> %d simulated cycles (%s)\n",
+		a.cycles, b.cycles, signedDelta(a.cycles, b.cycles))
+
+	type row struct {
+		name, unit string
+		a, b       uint64
+	}
+	var rows []row
+	for _, c := range telemetry.AttrCategories() {
+		av, bv := a.cats[c.Name], b.cats[c.Name]
+		if av == 0 && bv == 0 {
+			continue
+		}
+		unit := "cycles"
+		for _, d := range telemetry.AttrDomains() {
+			if d.Name == c.Domain {
+				unit = d.Unit
+			}
+		}
+		rows = append(rows, row{c.Name, unit, av, bv})
+	}
+	sort.Slice(rows, func(i, j int) bool { return absDelta(rows[i].a, rows[i].b) > absDelta(rows[j].a, rows[j].b) })
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  category\told\tnew\tdelta\t\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "  %s\t%d\t%d\t%s %s\t%s\n", r.name, r.a, r.b, signedDelta(r.a, r.b), r.unit, relDelta(r.a, r.b))
+	}
+	tw.Flush()
+}
+
+func absDelta(a, b uint64) uint64 {
+	if b > a {
+		return b - a
+	}
+	return a - b
+}
+
+func signedDelta(a, b uint64) string {
+	if b >= a {
+		return fmt.Sprintf("+%d", b-a)
+	}
+	return fmt.Sprintf("-%d", a-b)
+}
+
+func relDelta(a, b uint64) string {
+	if a == 0 {
+		return "(new)"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(float64(b)-float64(a))/float64(a))
+}

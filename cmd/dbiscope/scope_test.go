@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbisim/internal/sweep"
+	"dbisim/internal/telemetry"
+)
+
+// balancedWindow builds a window whose closed domains reconcile by
+// construction.
+func balancedWindow(scale uint64) telemetry.AttrWindow {
+	return telemetry.AttrWindow{
+		Cycles: 1000 * scale,
+		Categories: map[string]uint64{
+			"cpu.issue":         600 * scale,
+			"llc.tag_probe":     200 * scale,
+			"llc.tag_filler":    100 * scale,
+			"dram.bank_service": 400 * scale,
+			"mem.read_fill":     64 * 30 * scale,
+			"wb.demand":         64 * 10 * scale,
+		},
+		Domains: map[string]uint64{
+			"llc_port":  300 * scale,
+			"dram_bank": 400 * scale,
+			"dram_bus":  64 * 40 * scale,
+		},
+	}
+}
+
+func record(key string, scale uint64) sweep.Record {
+	return sweep.Record{
+		Key:        key,
+		Experiment: "test",
+		Seed:       1,
+		Metrics:    map[string]float64{"ipc": 0.5},
+		Attr: &telemetry.AttrReport{
+			Warmup:  balancedWindow(scale),
+			Measure: balancedWindow(2 * scale),
+		},
+	}
+}
+
+func writeFile(t *testing.T, name string, doc any) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportOnSweepFile(t *testing.T) {
+	rep := sweep.Report{Cells: []sweep.Record{record("fig6/mcf", 1), record("fig6/lbm", 3)}}
+	path := writeFile(t, "sweep.json", rep)
+	var buf bytes.Buffer
+	if err := reportCmd([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 cell(s), measure window") {
+		t.Errorf("cell count/window missing:\n%s", out)
+	}
+	// Aggregation across cells: measure windows are 2× and 6× scale.
+	if !strings.Contains(out, "window length: 8000 simulated cycles") {
+		t.Errorf("aggregated cycles wrong:\n%s", out)
+	}
+	for _, want := range []string{
+		"reconciled: 2 categories sum exactly to the llc_port total",
+		"reconciled: 1 categories sum exactly to the dram_bank total",
+		"reconciled: 2 categories sum exactly to the dram_bus total",
+		"may exceed 100%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in report:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportOnSingleRecord(t *testing.T) {
+	path := writeFile(t, "one.json", record("dbisim/stream", 2))
+	var buf bytes.Buffer
+	if err := reportCmd([]string{"-window", "warmup", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 cell(s), warmup window") {
+		t.Errorf("single-record load failed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "window length: 2000 simulated cycles") {
+		t.Errorf("warmup window not selected:\n%s", buf.String())
+	}
+}
+
+func TestReportCellFilter(t *testing.T) {
+	rep := sweep.Report{Cells: []sweep.Record{record("fig6/mcf", 1), record("fig6/lbm", 3)}}
+	path := writeFile(t, "sweep.json", rep)
+	var buf bytes.Buffer
+	if err := reportCmd([]string{"-cell", "mcf", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 cell(s)") {
+		t.Errorf("filter did not narrow to one cell:\n%s", buf.String())
+	}
+	if err := reportCmd([]string{"-cell", "nonexistent", path}, &buf); err == nil {
+		t.Error("no-match filter did not error")
+	}
+}
+
+func TestReportRejectsUnbalancedWindow(t *testing.T) {
+	r := record("bad", 1)
+	r.Attr.Measure.Domains["dram_bus"] += 64 // now categories ≠ total
+	path := writeFile(t, "bad.json", r)
+	err := reportCmd([]string{path}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "reconcile") {
+		t.Fatalf("unbalanced window accepted: %v", err)
+	}
+}
+
+func TestReportRejectsAttrlessFile(t *testing.T) {
+	r := record("plain", 1)
+	r.Attr = nil
+	path := writeFile(t, "plain.json", r)
+	err := reportCmd([]string{path}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-attr") {
+		t.Fatalf("attr-less file should suggest rerunning with -attr, got: %v", err)
+	}
+}
+
+func TestDiffRanksByDelta(t *testing.T) {
+	a := record("cell", 1)
+	b := record("cell", 1)
+	// Move two categories by different amounts: wb.demand by 640
+	// bytes, llc.tag_probe by 10 cycles. The bigger mover ranks first.
+	b.Attr.Measure.Categories["wb.demand"] += 640
+	b.Attr.Measure.Domains["dram_bus"] += 640
+	b.Attr.Measure.Categories["llc.tag_probe"] += 10
+	b.Attr.Measure.Domains["llc_port"] += 10
+	pa := writeFile(t, "a.json", a)
+	pb := writeFile(t, "b.json", b)
+	var buf bytes.Buffer
+	if err := diffCmd([]string{pa, pb}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wb := strings.Index(out, "wb.demand")
+	probe := strings.Index(out, "llc.tag_probe")
+	if wb < 0 || probe < 0 {
+		t.Fatalf("moved categories missing:\n%s", out)
+	}
+	if wb > probe {
+		t.Errorf("delta ranking wrong (wb.demand moved more but ranks below):\n%s", out)
+	}
+	if !strings.Contains(out, "+640 bytes") {
+		t.Errorf("delta value missing:\n%s", out)
+	}
+}
+
+func TestDiffRejectsBothWindow(t *testing.T) {
+	path := writeFile(t, "a.json", record("cell", 1))
+	if err := diffCmd([]string{"-window", "both", path, path}, &bytes.Buffer{}); err == nil {
+		t.Error("diff accepted -window both")
+	}
+}

@@ -52,6 +52,7 @@ func resultRecord(mech string, benches []string, seed int64, r system.Results) s
 		Cores:      len(benches),
 		Seed:       seed,
 		Metrics:    r.Metrics(),
+		Attr:       r.Attr,
 	}
 }
 
@@ -64,7 +65,9 @@ func main() {
 		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per core")
 		measure  = flag.Uint64("measure", 0, "override measured instructions per core")
 		seed     = flag.Int64("seed", 42, "simulation seed")
-		list     = flag.Bool("list", false, "list benchmark models and exit")
+		attr     = flag.Bool("attr", false,
+			"attach a cycle/bandwidth attribution ledger; the -json record gains an attr block (analyze with dbiscope)")
+		list = flag.Bool("list", false, "list benchmark models and exit")
 
 		tel cliflags.Telemetry
 		out cliflags.Output
@@ -114,7 +117,11 @@ func main() {
 		cfg.MeasureInstructions = *measure
 	}
 
-	sys, err := system.New(cfg, names, *seed, tel.Options()...)
+	opts := tel.Options()
+	if *attr {
+		opts = append(opts, system.WithAttribution())
+	}
+	sys, err := system.New(cfg, names, *seed, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

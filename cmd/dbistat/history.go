@@ -42,8 +42,13 @@ func history(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	// An empty directory is a normal state (fresh checkout, CI cache
+	// not yet primed), not an error: say so and exit clean, so
+	// scripted `dbistat history` probes don't fail their pipeline.
 	if len(reps) == 0 {
-		fatalf("no readable BENCH_*.json recordings in %s", *dir)
+		fmt.Printf("no recordings found: no readable BENCH_*.json in %s\n", *dir)
+		fmt.Println("record one with `dbistat record` to start a history.")
+		return
 	}
 	if *last > 0 && len(reps) > *last {
 		reps = reps[len(reps)-*last:]

@@ -72,3 +72,33 @@ func TestHistoryTable(t *testing.T) {
 		}
 	}
 }
+
+// TestHistoryEmptyDirIsNotAnError pins the zero-recordings behavior: a
+// directory with no BENCH_*.json prints a friendly notice and returns
+// normally (exit 0) instead of failing — an empty history is a normal
+// state, not a pipeline error.
+func TestHistoryEmptyDirIsNotAnError(t *testing.T) {
+	dir := t.TempDir()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	// history calls fatalf (os.Exit) on errors, so merely returning
+	// here is the regression being pinned.
+	history([]string{"-dir", dir})
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "no recordings found") {
+		t.Errorf("notice missing: %q", out)
+	}
+	if !strings.Contains(out, "dbistat record") {
+		t.Errorf("next-step hint missing: %q", out)
+	}
+}

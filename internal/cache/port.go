@@ -14,6 +14,12 @@ import (
 // for aggressive-writeback lookups.
 type Port struct {
 	Eng *event.Engine
+	// Attr, when set, receives the llc_port domain total: every
+	// submitted operation's duration, charged at Submit. The port is
+	// the single funnel for tag-store occupancy, so callers charging
+	// per-purpose categories at their Submit sites reconcile exactly
+	// against this total.
+	Attr *telemetry.Attribution
 
 	busy       bool
 	demand     []portOp
@@ -37,6 +43,7 @@ type portOp struct {
 // Submit queues an operation of the given duration. done runs when the
 // operation completes. Background ops yield to demand ops at dispatch.
 func (p *Port) Submit(background bool, dur event.Cycle, done func()) {
+	p.Attr.ChargeDomain(telemetry.DomLLCPort, uint64(dur))
 	op := portOp{dur: dur, enqueued: p.Eng.Now(), done: done}
 	if background {
 		p.background = append(p.background, op)

@@ -44,6 +44,13 @@ type Core struct {
 	// (issue → LLC → fill) on the core's own trace lane.
 	Trc *telemetry.Tracer
 
+	// Attr, when non-nil, receives the core's cycle attribution:
+	// cpu.issue for per-instruction cost and cpu.window_stall for
+	// full-window stall episodes (charged on resume, so a stall
+	// spanning the warmup→measure boundary lands in the window where
+	// it ends).
+	Attr *telemetry.Attribution
+
 	gen trace.Generator
 	l1  *cache.Cache
 	l2  *cache.Cache
@@ -57,6 +64,7 @@ type Core struct {
 	issuedAtStart uint64
 	inflight      []*loadSlot
 	stalled       bool
+	stallAt       event.Cycle  // cycle the current stall episode began
 	deferred      trace.Record // record waiting on a full window
 	stopped       bool
 
@@ -265,6 +273,7 @@ func (c *Core) Reset(seed int64) {
 	}
 	c.inflight = c.inflight[:0]
 	c.stalled = false
+	c.stallAt = 0
 	c.deferred = trace.Record{}
 	c.stopped = false
 	for _, r := range c.outstanding {
@@ -341,6 +350,7 @@ func (c *Core) step() {
 		// Stall until enough older loads complete; every load completion
 		// re-checks via resume. WindowStalls counts stall episodes.
 		c.stalled = true
+		c.stallAt = c.Eng.Now()
 		c.Stat.WindowStalls.Inc()
 		c.deferred = rec
 		return
@@ -366,12 +376,14 @@ func (c *Core) resume() {
 		return
 	}
 	c.stalled = false
+	c.Attr.Charge(telemetry.ACPUWindowStall, uint64(c.Eng.Now()-c.stallAt))
 	c.issue(c.deferred, cost)
 }
 
 func (c *Core) issue(rec trace.Record, cost uint64) {
 	c.issued += cost
 	c.Stat.Instructions.Add(cost)
+	c.Attr.Charge(telemetry.ACPUIssue, cost)
 	b := c.geo.BlockOf(rec.Addr)
 	if rec.Kind == trace.Load {
 		c.Stat.Loads.Inc()

@@ -39,6 +39,7 @@ type State struct {
 	issued        uint64
 	issuedAtStart uint64
 	stalled       bool
+	stallAt       event.Cycle
 	deferred      trace.Record
 	stopped       bool
 
@@ -63,6 +64,7 @@ func (c *Core) Snapshot(st *State) {
 	st.issued = c.issued
 	st.issuedAtStart = c.issuedAtStart
 	st.stalled = c.stalled
+	st.stallAt = c.stallAt
 	st.deferred = c.deferred
 	st.stopped = c.stopped
 
@@ -95,6 +97,7 @@ func (c *Core) Restore(st *State) {
 	c.issued = st.issued
 	c.issuedAtStart = st.issuedAtStart
 	c.stalled = st.stalled
+	c.stallAt = st.stallAt
 	c.deferred = st.deferred
 	c.stopped = st.stopped
 

@@ -74,6 +74,15 @@ type Controller struct {
 	// disabled path costs one compare.
 	Trc *telemetry.Tracer
 
+	// Attr, when non-nil, receives the controller's attribution
+	// charges: dram_bank cycle categories plus the dram_bank and
+	// dram_bus domain totals. The bus total counts one block of
+	// requested transfer bytes per accepted Read/Write — including
+	// reads forwarded from the write buffer — so callers charging
+	// per-purpose byte categories at their request sites reconcile
+	// exactly against it.
+	Attr *telemetry.Attribution
+
 	banks      []bankState
 	readQ      []request
 	writeQ     []request
@@ -178,6 +187,11 @@ func New(eng *event.Engine, geo addr.Geometry, p config.DRAMParams) (*Controller
 	// every RefreshInterval cycles.
 	c.refreshFn = func() {
 		c.Stat.Refreshes.Inc()
+		// Refresh reserves every bank for RefreshLatency cycles; the
+		// attribution is reservation-based (charged up front), matching
+		// how the freeAt horizon models it.
+		c.Attr.Charge(telemetry.ADRAMRefresh, uint64(c.Prm.Banks)*uint64(c.Prm.RefreshLatency))
+		c.Attr.ChargeDomain(telemetry.DomDRAMBank, uint64(c.Prm.Banks)*uint64(c.Prm.RefreshLatency))
 		until := c.Eng.Now() + event.Cycle(c.Prm.RefreshLatency)
 		for i := range c.banks {
 			c.banks[i].open = false
@@ -236,6 +250,7 @@ func (c *Controller) Reset() {
 // A read that matches a buffered write is forwarded without a DRAM
 // access.
 func (c *Controller) Read(b addr.BlockAddr, done func()) {
+	c.Attr.ChargeDomain(telemetry.DomDRAMBus, c.Geo.BlockSize)
 	for _, w := range c.writeQ {
 		if w.block == b {
 			c.Stat.WriteBufHits.Inc()
@@ -256,6 +271,7 @@ func (c *Controller) Read(b addr.BlockAddr, done func()) {
 // waits. When the buffer reaches capacity the controller switches to the
 // write-drain phase until the low watermark is reached (drain-when-full).
 func (c *Controller) Write(b addr.BlockAddr) {
+	c.Attr.ChargeDomain(telemetry.DomDRAMBus, c.Geo.BlockSize)
 	row := c.Geo.RowOf(b)
 	if len(c.writeQ) >= c.Prm.WriteBufferEntries {
 		c.Stat.WriteBufOverflw.Inc()
@@ -366,6 +382,11 @@ func (c *Controller) issue(r request, isWrite bool) {
 	bank := &c.banks[r.bank]
 	conflict := bank.open && bank.openRow != r.row
 	prep := c.prepTime(bank, r, isWrite)
+	// Bank occupancy attribution: preparation cycles were charged by
+	// prepTime (service or conflict); the burst itself is service. The
+	// dram_bank total is the sum, charged here so the domain closes.
+	c.Attr.Charge(telemetry.ADRAMBankService, uint64(c.Prm.TBurst))
+	c.Attr.ChargeDomain(telemetry.DomDRAMBank, uint64(prep)+uint64(c.Prm.TBurst))
 	prepStart := bank.freeAt
 	if prepStart < now {
 		prepStart = now
@@ -419,11 +440,13 @@ func (c *Controller) prepTime(bank *bankState, r request, isWrite bool) event.Cy
 	case !bank.open:
 		c.Stat.RowClosed.Inc()
 		c.Stat.Activates.Inc()
+		c.Attr.Charge(telemetry.ADRAMBankService, uint64(c.Prm.TRCD))
 		return event.Cycle(c.Prm.TRCD)
 	default:
 		c.Stat.RowConflicts.Inc()
 		c.Stat.Precharges.Inc()
 		c.Stat.Activates.Inc()
+		c.Attr.Charge(telemetry.ADRAMBankConflict, uint64(c.Prm.TRP+c.Prm.TRCD))
 		return event.Cycle(c.Prm.TRP + c.Prm.TRCD)
 	}
 }

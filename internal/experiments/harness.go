@@ -95,6 +95,7 @@ func (o Options) runCells(cells []simCell) ([]system.Results, error) {
 			Run:        out.Key.Run,
 			Seed:       seeds[i],
 			Metrics:    out.Value.Metrics(),
+			Attr:       out.Value.Attr,
 			ElapsedMS:  float64(out.Elapsed.Microseconds()) / 1000,
 		})
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled lets simulation-heavy, concurrency-free tests opt out of
+// -race runs (the detector multiplies their runtime without adding
+// coverage: they assert determinism, not synchronization).
+const raceEnabled = false

@@ -1,6 +1,9 @@
 package llc
 
-import "dbisim/internal/addr"
+import (
+	"dbisim/internal/addr"
+	"dbisim/internal/telemetry"
+)
 
 // DMACoherenceCheck answers the bulk-DMA coherence question of Section 7:
 // before a device reads the physical range [lo, hi) from memory, which
@@ -35,6 +38,7 @@ func (l *LLC) DMACoherenceCheck(lo, hi addr.BlockAddr) (dirty []addr.BlockAddr, 
 // consistent data from memory.
 func (l *LLC) DMAWriteback(blocks []addr.BlockAddr) {
 	for _, b := range blocks {
+		l.Attr.Charge(telemetry.ABytesWBDMA, l.Geo.BlockSize)
 		l.mem.Write(b)
 		if l.DBI != nil {
 			l.DBI.ClearDirty(b)

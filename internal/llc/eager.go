@@ -3,6 +3,7 @@ package llc
 import (
 	"dbisim/internal/addr"
 	"dbisim/internal/event"
+	"dbisim/internal/telemetry"
 )
 
 // Eager writeback (Section 7, "Fast Lookup for Dirty Status"): because
@@ -75,6 +76,7 @@ func (l *LLC) pumpEager() {
 	l.enqueueScan(blocks, true, func(b addr.BlockAddr) {
 		l.Stat.FillerLookups.Inc()
 		if _, hit := l.Cache.Lookup(b); hit {
+			l.Attr.Charge(telemetry.ABytesWBEager, l.Geo.BlockSize)
 			l.mem.Write(b)
 		}
 	})

@@ -3,6 +3,7 @@ package llc
 import (
 	"dbisim/internal/addr"
 	"dbisim/internal/event"
+	"dbisim/internal/telemetry"
 )
 
 // FlushTimed writes back every dirty block, modelling the latency of the
@@ -40,12 +41,14 @@ func (l *LLC) flushViaTagWalk(start event.Cycle, done func(int, event.Cycle)) {
 		}
 		s := set
 		set++
+		l.Attr.Charge(telemetry.ALLCTagFiller, uint64(l.tagLatency()))
 		l.Port.Submit(true, l.tagLatency(), func() {
 			l.Cache.Stats.TagLookups.Inc()
 			for way := 0; way < l.Cache.Ways(); way++ {
 				blk := l.Cache.BlockAt(s, way)
 				if blk.Valid && blk.Dirty {
 					l.Cache.SetDirty(blk.Addr, false)
+					l.Attr.Charge(telemetry.ABytesWBFlush, l.Geo.BlockSize)
 					l.mem.Write(blk.Addr)
 					written++
 				}
@@ -76,10 +79,13 @@ func (l *LLC) flushViaDBI(start event.Cycle, done func(int, event.Cycle)) {
 		b := blocks[i]
 		i++
 		// DBI entry read + tag access for the block's data.
+		l.Attr.Charge(telemetry.ADBIProbe, uint64(l.dbiLatency()))
 		l.Eng.After(l.dbiLatency(), func() {
+			l.Attr.Charge(telemetry.ALLCTagFiller, uint64(l.tagLatency()))
 			l.Port.Submit(true, l.tagLatency(), func() {
 				l.Cache.Stats.TagLookups.Inc()
 				if l.Cache.Contains(b) {
+					l.Attr.Charge(telemetry.ABytesWBFlush, l.Geo.BlockSize)
 					l.mem.Write(b)
 					written++
 				}

@@ -86,6 +86,13 @@ type LLC struct {
 	// the DBI lifecycle events (entry allocate/evict, AWB harvests).
 	Trc *telemetry.Tracer
 
+	// Attr, when non-nil, receives the LLC's attribution charges:
+	// per-purpose tag-port cycle categories at every Port.Submit site
+	// (the port itself charges the llc_port domain total), dbi.probe
+	// cycles for DBI queries, and one block of dram_bus bytes per
+	// memory read/write the LLC issues, categorized by purpose.
+	Attr *telemetry.Attribution
+
 	// vwqDepth is how many LRU ways VWQ scans (the Set State Vector
 	// covers this many ways per set).
 	vwqDepth int
@@ -272,6 +279,7 @@ func (l *LLC) bindCallbacks() {
 		l.Stat.FillerLookups.Inc()
 		if _, hit := l.Cache.Lookup(blk); hit {
 			l.Stat.DBIEvictionWBs.Inc()
+			l.Attr.Charge(telemetry.ABytesDBIDrain, l.Geo.BlockSize)
 			l.mem.Write(blk)
 		}
 	}
@@ -280,6 +288,7 @@ func (l *LLC) bindCallbacks() {
 		if _, hit := l.Cache.Lookup(mate); hit && l.Cache.IsDirty(mate) {
 			l.Cache.SetDirty(mate, false)
 			l.Stat.ProactiveWBs.Inc()
+			l.Attr.Charge(telemetry.ABytesWBProactive, l.Geo.BlockSize)
 			l.mem.Write(mate)
 		}
 	}
@@ -290,6 +299,7 @@ func (l *LLC) bindCallbacks() {
 			l.Cache.RankOf(l.Cache.SetOf(mate), way) < l.vwqDepth {
 			l.Cache.SetDirty(mate, false)
 			l.Stat.ProactiveWBs.Inc()
+			l.Attr.Charge(telemetry.ABytesWBProactive, l.Geo.BlockSize)
 			l.mem.Write(mate)
 		}
 	}
@@ -298,6 +308,7 @@ func (l *LLC) bindCallbacks() {
 		if _, hit := l.Cache.Lookup(mate); hit && l.DBI.IsDirty(mate) {
 			l.DBI.ClearDirty(mate)
 			l.Stat.ProactiveWBs.Inc()
+			l.Attr.Charge(telemetry.ABytesWBAWBHarvest, l.Geo.BlockSize)
 			l.mem.Write(mate)
 		}
 	}
@@ -335,6 +346,7 @@ func (l *LLC) Read(b addr.BlockAddr, thread int, done func()) {
 		// The DBI answers in a few cycles, far cheaper than the tag
 		// store (Figure 4).
 		rr := l.getReq(b, thread, done)
+		l.Attr.Charge(telemetry.ADBIProbe, uint64(l.dbiLatency()))
 		l.Eng.After(l.dbiLatency(), rr.clbFn)
 		return
 	}
@@ -368,6 +380,7 @@ func (l *LLC) bypass(b addr.BlockAddr, done func()) {
 func (l *LLC) lookupRead(b addr.BlockAddr, thread int, done func()) {
 	rr := l.getReq(b, thread, done)
 	rr.start = l.Eng.Now()
+	l.Attr.Charge(telemetry.ALLCTagProbe, uint64(l.tagLatency()))
 	l.Port.Submit(false, l.tagLatency(), rr.readFn)
 }
 
@@ -453,6 +466,11 @@ func (l *LLC) fetch(b addr.BlockAddr, done func(), allocate bool, thread int) {
 		l.mshr.Register(key, done)
 		return
 	}
+	cat := telemetry.ABytesReadBypass
+	if allocate {
+		cat = telemetry.ABytesReadFill
+	}
+	l.Attr.Charge(cat, l.Geo.BlockSize)
 	if l.mshr.Full() {
 		// No MSHR available: issue an unmerged fill (counted; rare).
 		l.Stat.MSHRMergeSkips.Inc()
@@ -477,6 +495,7 @@ func (l *LLC) fill(b addr.BlockAddr, thread int) {
 func (l *LLC) Writeback(b addr.BlockAddr, thread int) {
 	l.Stat.WritebackReqs.Inc()
 	rr := l.getReq(b, thread, nil)
+	l.Attr.Charge(telemetry.ALLCTagWriteback, uint64(l.tagLatency()))
 	l.Port.Submit(false, l.tagLatency(), rr.wbFn)
 }
 
@@ -494,6 +513,7 @@ func (rr *tagReq) writebackDone() {
 			l.handleEviction(victim)
 		}
 		l.Stat.WriteThroughs.Inc()
+		l.Attr.Charge(telemetry.ABytesWBWriteThrough, l.Geo.BlockSize)
 		l.mem.Write(b)
 	default:
 		if l.DBI != nil {
@@ -605,6 +625,7 @@ func (l *LLC) pumpScan() {
 		l.nextScanAt = now + scanInterval
 	}
 	l.scanning = true
+	l.Attr.Charge(telemetry.ALLCTagFiller, uint64(l.tagLatency()))
 	l.Port.Submit(true, l.tagLatency(), l.scanDoneFn)
 }
 
@@ -620,6 +641,7 @@ func (l *LLC) handleEviction(victim cache.Block) {
 		return
 	}
 	l.Stat.VictimWBs.Inc()
+	l.Attr.Charge(telemetry.ABytesWBDemand, l.Geo.BlockSize)
 	l.mem.Write(victim.Addr)
 	if l.DBI != nil {
 		l.DBI.ClearDirty(victim.Addr)
@@ -733,6 +755,7 @@ func (l *LLC) Flush() int {
 	if l.DBI != nil {
 		for _, ev := range l.DBI.Flush() {
 			for _, b := range ev.Blocks {
+				l.Attr.Charge(telemetry.ABytesWBFlush, l.Geo.BlockSize)
 				l.mem.Write(b)
 				n++
 			}
@@ -742,6 +765,7 @@ func (l *LLC) Flush() int {
 	dirty := l.Cache.DirtyBlocksInto(l.getMates())
 	for _, b := range dirty {
 		l.Cache.SetDirty(b, false)
+		l.Attr.Charge(telemetry.ABytesWBFlush, l.Geo.BlockSize)
 		l.mem.Write(b)
 		n++
 	}

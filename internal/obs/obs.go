@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -59,9 +60,10 @@ type Server struct {
 	Registry *telemetry.Registry
 	Flight   *FlightRecorder
 
-	ln   net.Listener
-	srv  *http.Server
-	stop chan os.Signal
+	sweepSink *poolBaseliner
+	ln        net.Listener
+	srv       *http.Server
+	stop      chan os.Signal
 }
 
 // Start builds the ops plane and serves it on cfg.Addr: the shared
@@ -74,6 +76,7 @@ type Server struct {
 func Start(cfg Config) (*Server, error) {
 	reg := telemetry.NewRegistry()
 	system.RegisterPoolMetrics(reg)
+	telemetry.AttrTotals.RegisterMetrics(reg)
 	registerProcessMetrics(reg)
 	if cfg.Register != nil {
 		cfg.Register(reg)
@@ -81,10 +84,11 @@ func Start(cfg Config) (*Server, error) {
 
 	flight := NewFlightRecorder(cfg.FlightCap)
 	flight.DumpPath = cfg.FlightPath
-	sweep.Live.Enable(flight)
+	sink := &poolBaseliner{Sink: flight}
+	sweep.Live.Enable(sink)
 	system.SetPoolEventHook(flight.PoolEvent)
 
-	s := &Server{Registry: reg, Flight: flight}
+	s := &Server{Registry: reg, Flight: flight, sweepSink: sink}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -186,14 +190,43 @@ type sweepDoc struct {
 	ElapsedSec float64             `json:"elapsed_sec"`
 	ETASec     float64             `json:"eta_sec,omitempty"`
 	Pool       system.PoolSnapshot `json:"pool"`
+	// PoolSweep is the pool's activity since the current sweep began
+	// (absent before the first sweep): how its cells were satisfied —
+	// forked from checkpoints (ckpt_hits), reset, or rebuilt — and the
+	// resulting checkpoint hit rate.
+	PoolSweep *poolSweepDoc `json:"pool_sweep,omitempty"`
 }
 
-func currentSweepDoc() (sweepDoc, bool) {
+type poolSweepDoc struct {
+	system.PoolSnapshot
+	CkptHitRate float64 `json:"ckpt_hit_rate"`
+}
+
+// poolBaseliner wraps the sweep sink (the flight recorder) to also
+// capture the pool counters at each SweepStart, giving /sweep its
+// per-sweep delta. Callbacks fire from worker goroutines; the baseline
+// is a single atomic pointer swap.
+type poolBaseliner struct {
+	sweep.Sink
+	base atomic.Pointer[system.PoolSnapshot]
+}
+
+func (p *poolBaseliner) SweepStart(label string, workers, total int) {
+	snap := system.PoolStat.Snapshot()
+	p.base.Store(&snap)
+	p.Sink.SweepStart(label, workers, total)
+}
+
+func (s *Server) currentSweepDoc() (sweepDoc, bool) {
 	st, ok := sweep.Live.Snapshot()
 	if !ok {
 		return sweepDoc{Pool: system.PoolStat.Snapshot()}, false
 	}
 	doc := sweepDoc{Status: st, Pool: system.PoolStat.Snapshot()}
+	if base := s.sweepSink.base.Load(); base != nil {
+		delta := doc.Pool.Sub(*base)
+		doc.PoolSweep = &poolSweepDoc{PoolSnapshot: delta, CkptHitRate: delta.CkptHitRate()}
+	}
 	elapsed := time.Since(time.Unix(0, st.StartNS))
 	doc.ElapsedSec = elapsed.Seconds()
 	if st.Active && st.Done > 0 && st.Done < st.Total {
@@ -207,7 +240,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.streamSweep(w, r)
 		return
 	}
-	doc, _ := currentSweepDoc()
+	doc, _ := s.currentSweepDoc()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -227,7 +260,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request) {
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
 	for {
-		doc, _ := currentSweepDoc()
+		doc, _ := s.currentSweepDoc()
 		b, err := json.Marshal(doc)
 		if err != nil {
 			return

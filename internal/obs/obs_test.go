@@ -269,3 +269,131 @@ func TestSweepStreamSSE(t *testing.T) {
 		t.Fatalf("SSE payload is not valid JSON: %v\n%s", err, payload)
 	}
 }
+
+// TestPrometheusHelpLines pins the metadata contract satellite: every
+// exported family carries a # HELP line naming the owning subsystem,
+// immediately preceding its # TYPE line, and family prefixes resolve
+// to curated text rather than the generic fallback.
+func TestPrometheusHelpLines(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("pool.resets", func() uint64 { return 1 })
+	reg.Counter("llc.reads", func() uint64 { return 2 })
+	reg.Gauge("proc.goroutines", func() float64 { return 3 })
+	telemetry.AttrTotals.RegisterMetrics(reg)
+	h := stats.NewHistogram(2)
+	h.Observe(1)
+	reg.Histogram("dram.drain_burst", h)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	types := 0
+	for i, l := range lines {
+		if !strings.HasPrefix(l, "# TYPE ") {
+			continue
+		}
+		types++
+		name := strings.Fields(l)[2]
+		if i == 0 || !strings.HasPrefix(lines[i-1], "# HELP "+name+" ") {
+			t.Errorf("family %s: # TYPE not preceded by its # HELP line", name)
+		}
+	}
+	if types == 0 {
+		t.Fatal("no # TYPE lines in exposition")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP dbi_pool_resets_total Simulator machine pool activity",
+		"# HELP dbi_llc_reads_total Shared last-level cache activity",
+		"# HELP dbi_proc_goroutines Host process runtime state",
+		"# HELP dbi_dram_drain_burst DRAM controller command and queue activity",
+		"# HELP dbi_attr_cpu_issue_total Attribution category charge",
+		"# HELP dbi_attr_domain_dram_bus_total Attribution domain total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing curated help %q", want)
+		}
+	}
+	if got := helpFor("unheard.of"); got != "Simulator metric unheard.of" {
+		t.Errorf("generic fallback = %q", got)
+	}
+}
+
+// TestSweepPoolDelta pins the per-sweep pool summary satellite: /sweep
+// reports the pool counters' movement since the current sweep began
+// (pool_sweep), not just the cumulative process totals, and the delta
+// rebaselines at each new sweep.
+func TestSweepPoolDelta(t *testing.T) {
+	srv, err := Start(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Close()
+		sweep.Live.Disable()
+		system.SetPoolEventHook(nil)
+	}()
+	getDoc := func() sweepDoc {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + "/sweep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc sweepDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	// Before any sweep: cumulative pool numbers only, no per-sweep block.
+	if doc := getDoc(); doc.PoolSweep != nil {
+		t.Errorf("pool_sweep present before any sweep: %+v", doc.PoolSweep)
+	}
+
+	// Each monitored sweep moves the process-wide pool counters as the
+	// pools would; the per-sweep delta must cover exactly one sweep's
+	// worth no matter how much history preceded it.
+	runSweep := func(label string, hits, misses, resets uint64) {
+		t.Helper()
+		cells := []sweep.Cell[int]{{
+			Key: Key{Experiment: label},
+			Run: func() (int, error) {
+				system.PoolStat.CkptHits.Add(hits)
+				system.PoolStat.CkptMisses.Add(misses)
+				system.PoolStat.Resets.Add(resets)
+				return 1, nil
+			},
+		}}
+		if _, err := sweep.Run(cells, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runSweep("first", 9, 1, 4)
+	doc := getDoc()
+	if doc.PoolSweep == nil {
+		t.Fatal("pool_sweep absent after a monitored sweep")
+	}
+	if doc.PoolSweep.CkptHits != 9 || doc.PoolSweep.CkptMisses != 1 || doc.PoolSweep.Resets != 4 {
+		t.Errorf("first sweep delta = %+v, want hits=9 misses=1 resets=4", doc.PoolSweep.PoolSnapshot)
+	}
+	if doc.PoolSweep.CkptHitRate != 0.9 {
+		t.Errorf("ckpt_hit_rate = %v, want 0.9", doc.PoolSweep.CkptHitRate)
+	}
+
+	runSweep("second", 1, 3, 0)
+	doc = getDoc()
+	if doc.PoolSweep.CkptHits != 1 || doc.PoolSweep.CkptMisses != 3 || doc.PoolSweep.Resets != 0 {
+		t.Errorf("second sweep delta = %+v, want rebaselined hits=1 misses=3 resets=0", doc.PoolSweep.PoolSnapshot)
+	}
+	if doc.PoolSweep.CkptHitRate != 0.25 {
+		t.Errorf("ckpt_hit_rate = %v, want 0.25", doc.PoolSweep.CkptHitRate)
+	}
+	// Cumulative totals keep growing across sweeps.
+	if doc.Pool.CkptHits < 10 {
+		t.Errorf("cumulative ckpt_hits = %d, want >= 10", doc.Pool.CkptHits)
+	}
+}

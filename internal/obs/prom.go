@@ -35,11 +35,41 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// helpPrefixes maps registry-name prefixes (pre-mangling, longest match
+// wins) to the HELP text for that metric family. Families, not
+// individual metrics: the registry's names are already self-describing,
+// HELP says which subsystem owns them and in what units.
+var helpPrefixes = []struct{ prefix, help string }{
+	{"attr.domain.", "Attribution domain total (cycles or bytes) summed over measure windows"},
+	{"attr.", "Attribution category charge summed over measure windows"},
+	{"llc.port.", "Shared LLC tag-store port contention"},
+	{"llc.", "Shared last-level cache activity"},
+	{"dbi.", "Dirty-Block Index structure activity"},
+	{"dram.", "DRAM controller command and queue activity"},
+	{"cpu", "Per-core pipeline activity (simulated)"},
+	{"fork.", "Checkpoint-fork scheduler activity"},
+	{"pool.", "Simulator machine pool activity"},
+	{"proc.", "Host process runtime state"},
+	{"self.", "Simulator self-throughput on the host"},
+	{"sweep.", "Sweep scheduler progress"},
+}
+
+// helpFor returns the HELP line text for a registry metric name.
+func helpFor(name string) string {
+	for _, e := range helpPrefixes {
+		if strings.HasPrefix(name, e.prefix) {
+			return e.help
+		}
+	}
+	return "Simulator metric " + name
+}
+
 // WritePrometheus renders every probe in reg in the Prometheus text
-// exposition format (version 0.0.4): counters gain the _total suffix,
-// histograms export cumulative le-labeled buckets (bucket index i holds
-// samples with value exactly i, the final bucket is the clamp-overflow,
-// rendered only as +Inf) plus _sum and _count.
+// exposition format (version 0.0.4): every family gets # HELP and
+// # TYPE lines, counters gain the _total suffix, histograms export
+// cumulative le-labeled buckets (bucket index i holds samples with
+// value exactly i, the final bucket is the clamp-overflow, rendered
+// only as +Inf) plus _sum and _count.
 //
 // The registry's probes are read live with no locking — see the
 // concurrency caveat on Registry.EachScalar. Returns the first write
@@ -56,11 +86,11 @@ func WritePrometheus(w io.Writer, reg *telemetry.Registry) error {
 		if kind == telemetry.KindCounter {
 			pn += "_total"
 		}
-		pf("# TYPE %s %s\n%s %s\n", pn, kind, pn, promFloat(v))
+		pf("# HELP %s %s\n# TYPE %s %s\n%s %s\n", pn, helpFor(name), pn, kind, pn, promFloat(v))
 	})
 	reg.EachHistogram(func(name string, h *stats.Histogram) {
 		pn := promName(name)
-		pf("# TYPE %s histogram\n", pn)
+		pf("# HELP %s %s\n# TYPE %s histogram\n", pn, helpFor(name), pn)
 		buckets := h.Buckets()
 		var cum uint64
 		for i, c := range buckets {

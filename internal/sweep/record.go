@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dbisim/internal/telemetry"
 )
 
 // Record is the machine-readable result of one cell — what the -json
@@ -20,7 +22,11 @@ type Record struct {
 	Run        int                `json:"run,omitempty"`
 	Seed       int64              `json:"seed"`
 	Metrics    map[string]float64 `json:"metrics"`
-	ElapsedMS  float64            `json:"elapsed_ms"`
+	// Attr carries the cell's attribution report when the run had a
+	// ledger attached (dbibench -attr); nil otherwise, so plain sweep
+	// JSON is unchanged byte for byte.
+	Attr      *telemetry.AttrReport `json:"attr,omitempty"`
+	ElapsedMS float64               `json:"elapsed_ms"`
 }
 
 // Recorder accumulates cell records from concurrently executing

@@ -23,6 +23,7 @@ type options struct {
 	tracer *telemetry.Tracer
 	epoch  uint64
 	reg    *telemetry.Registry
+	attr   bool
 }
 
 // WithTracer wires a request-lifecycle tracer into every component and
@@ -54,10 +55,27 @@ func WithMetrics(reg *telemetry.Registry) Option {
 	return func(o *options) { o.reg = reg }
 }
 
+// WithAttribution attaches a cycle/bandwidth attribution ledger to
+// every component. Unlike tracers and samplers, attribution is plain
+// counter state that Reset/Snapshot/Restore carry exactly, so an
+// attributed System still pools, forks and resets; Results gain an
+// Attr report split at the warmup→measure boundary. Attribution never
+// schedules events or influences decisions, so Results stay
+// bit-identical with and without it.
+//
+// Pools construct their Systems internally with no options; use
+// SetAttributionEnabled for a process-wide default that reaches them.
+func WithAttribution() Option {
+	return func(o *options) { o.attr = true }
+}
+
 // apply wires the collected options into the assembled system.
 func (s *System) apply(o *options) {
 	if o.tracer != nil {
 		s.attachTracer(o.tracer)
+	}
+	if o.attr || AttributionEnabled() {
+		s.attachAttr(&telemetry.Attribution{})
 	}
 	if o.reg != nil || o.epoch > 0 {
 		reg := o.reg

@@ -9,6 +9,7 @@ import (
 	"dbisim/internal/event"
 	"dbisim/internal/llc"
 	"dbisim/internal/randstate"
+	"dbisim/internal/telemetry"
 	"dbisim/internal/trace"
 )
 
@@ -32,6 +33,13 @@ type Checkpoint struct {
 	llc   llc.State
 	mem   dram.State
 	snap  snapshot
+
+	// attr is the ledger's value at capture time. The warmup baseline
+	// (snap.attr) rides along in the snapshot struct copy; this field
+	// additionally carries any charges landed between that baseline and
+	// the engine halt, so a restored machine resumes with the exact
+	// ledger the scratch run had.
+	attr telemetry.AttrValues
 }
 
 // Owner returns the System the checkpoint was taken from (nil for a
@@ -176,6 +184,7 @@ func (s *System) Snapshot(ck *Checkpoint) error {
 	issued := ck.snap.coreIssued
 	ck.snap = s.snap
 	ck.snap.coreIssued = append(issued[:0], s.snap.coreIssued...)
+	ck.attr = s.attr.Values()
 	return nil
 }
 
@@ -218,5 +227,6 @@ func (s *System) Restore(cfg config.SystemConfig, ck *Checkpoint) error {
 	issued := s.snap.coreIssued
 	s.snap = ck.snap
 	s.snap.coreIssued = append(issued[:0], ck.snap.coreIssued...)
+	s.attr.SetValues(ck.attr)
 	return nil
 }

@@ -7,6 +7,7 @@ package system
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"dbisim/internal/addr"
@@ -33,6 +34,12 @@ type System struct {
 	benchNames []string
 	gens       []trace.Generator // per-core generators, kept for Reset
 	snap       snapshot
+
+	// attr is the machine's attribution ledger (nil when attribution
+	// is off). Unlike tracer/sampler it is plain simulated-counter
+	// state: Reset zeroes it, Snapshot/Restore carry it, and none of
+	// those operations refuse because of it.
+	attr *telemetry.Attribution
 
 	tracer  *telemetry.Tracer
 	sampler *telemetry.Sampler
@@ -86,7 +93,28 @@ type Results struct {
 	AvgReadLatency                    float64
 	PortQueueDelay                    uint64
 	DrainsStarted                     uint64
+
+	// Attr is the run's attribution report (nil when attribution is
+	// off): where simulated cycles and DRAM bytes went, split at the
+	// warmup→measure boundary. It is carried separately from Metrics()
+	// so existing golden grids and -check flows are untouched.
+	Attr *telemetry.AttrReport
 }
+
+// attrEnabled is the process-wide attribution default. The pool and
+// fork schedulers construct Systems internally with no options, so a
+// CLI -attr flag reaches them through this toggle instead.
+var attrEnabled atomic.Bool
+
+// SetAttributionEnabled sets the process-wide attribution default:
+// when on, every System built by New (and every pooled machine on its
+// next Reset) carries an attribution ledger. Flip it before starting
+// sweeps; machines already warmed keep their current attachment until
+// they reset.
+func SetAttributionEnabled(on bool) { attrEnabled.Store(on) }
+
+// AttributionEnabled reports the process-wide attribution default.
+func AttributionEnabled() bool { return attrEnabled.Load() }
 
 // New builds a system running the named benchmark on every core
 // (len(benches) must equal cfg.NumCores). Each core's footprint is
@@ -200,7 +228,28 @@ func (s *System) Reset(cfg config.SystemConfig, benches []string, seed int64) er
 	}
 	s.benchNames = append(s.benchNames[:0], benches...)
 	s.snap = snapshot{}
+	// Attribution is counter state, not host-side telemetry: reset
+	// returns it to power-on zero rather than refusing. A machine
+	// built before the process-wide toggle flipped on gains its ledger
+	// here, so pooled machines honor the toggle from their next run.
+	if s.attr != nil {
+		s.attr.Reset()
+	} else if AttributionEnabled() {
+		s.attachAttr(&telemetry.Attribution{})
+	}
 	return nil
+}
+
+// attachAttr wires one attribution ledger into every component that
+// charges it.
+func (s *System) attachAttr(a *telemetry.Attribution) {
+	s.attr = a
+	s.Mem.Attr = a
+	s.LLC.Attr = a
+	s.LLC.Port.Attr = a
+	for _, c := range s.Cores {
+		c.Attr = a
+	}
 }
 
 // attachTracer is the tracer wiring behind WithTracer. Tracing must
@@ -299,6 +348,13 @@ type snapshot struct {
 	portQueueDelay, drains    uint64
 	activates                 uint64
 	coreIssued                []uint64
+
+	// attr/atCycle baseline the attribution ledger at the same instant
+	// as the counters above, so harvest can split warmup from measure.
+	// AttrValues is a plain array pair, so the struct copy semantics
+	// snapshot/checkpoint rely on still hold.
+	attr    telemetry.AttrValues
+	atCycle uint64
 }
 
 func (s *System) takeSnapshot() snapshot {
@@ -316,6 +372,8 @@ func (s *System) takeSnapshot() snapshot {
 		portQueueDelay: s.LLC.Port.QueueDelay.Value(),
 		drains:         ms.DrainsStarted.Value(),
 		activates:      ms.Activates.Value(),
+		attr:           s.attr.Values(),
+		atCycle:        uint64(s.Eng.Now()),
 	}
 	if s.LLC.DBI != nil {
 		sn.dbiEvictions = s.LLC.DBI.Stat.Evictions.Value()
@@ -429,6 +487,17 @@ func (s *System) harvest() Results {
 	r.AvgReadLatency = stats.Ratio(ms.ReadLatencySum.Value()-sn.readLatencySum, reads)
 	r.PortQueueDelay = s.LLC.Port.QueueDelay.Value() - sn.portQueueDelay
 	r.DrainsStarted = ms.DrainsStarted.Value() - sn.drains
+	if s.attr != nil {
+		cur := s.attr.Values()
+		measured := cur.Sub(sn.attr)
+		r.Attr = &telemetry.AttrReport{
+			Warmup:  telemetry.NewAttrWindow(sn.attr, sn.atCycle),
+			Measure: telemetry.NewAttrWindow(measured, uint64(s.Eng.Now())-sn.atCycle),
+		}
+		// Fold the measure window into the process-wide aggregate the
+		// ops plane serves; host-side only, so Results stay identical.
+		telemetry.AttrTotals.Add(measured)
+	}
 	return r
 }
 
