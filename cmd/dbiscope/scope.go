@@ -16,21 +16,22 @@ import (
 
 // loadRecords reads either a dbibench sweep Report (top-level "cells"
 // array) or a single dbisim Record, returning the cells that match the
-// -cell substring filter and carry attribution data.
-func loadRecords(path, cellFilter string) ([]sweep.Record, error) {
+// -cell substring filter and carry attribution data, plus the report's
+// schema string (empty for bare records and pre-schema reports).
+func loadRecords(path, cellFilter string) ([]sweep.Record, string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var rep sweep.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, "", fmt.Errorf("%s: %v", path, err)
 	}
 	recs := rep.Cells
 	if len(recs) == 0 {
 		var one sweep.Record
 		if err := json.Unmarshal(data, &one); err != nil || one.Key == "" {
-			return nil, fmt.Errorf("%s: neither a sweep report nor a cell record", path)
+			return nil, "", fmt.Errorf("%s: neither a sweep report nor a cell record", path)
 		}
 		recs = []sweep.Record{one}
 	}
@@ -48,11 +49,11 @@ func loadRecords(path, cellFilter string) ([]sweep.Record, error) {
 	}
 	if len(out) == 0 {
 		if withoutAttr > 0 {
-			return nil, fmt.Errorf("%s: %d matching cell(s) but none carry attribution data (rerun with -attr)", path, withoutAttr)
+			return nil, "", fmt.Errorf("%s: %d matching cell(s) but none carry attribution data (rerun with -attr)", path, withoutAttr)
 		}
-		return nil, fmt.Errorf("%s: no cells match %q", path, cellFilter)
+		return nil, "", fmt.Errorf("%s: no cells match %q", path, cellFilter)
 	}
-	return out, nil
+	return out, rep.Schema, nil
 }
 
 // agg is the sum of one window kind across the selected cells: total
@@ -123,7 +124,7 @@ func reportCmd(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	recs, err := loadRecords(fs.Arg(0), *cell)
+	recs, _, err := loadRecords(fs.Arg(0), *cell)
 	if err != nil {
 		return err
 	}
@@ -225,14 +226,24 @@ func diffCmd(args []string, w io.Writer) error {
 		return err
 	}
 	aggs := make([]*agg, 2)
+	schemas := make([]string, 2)
 	for i := 0; i < 2; i++ {
-		recs, err := loadRecords(fs.Arg(i), *cell)
+		recs, schema, err := loadRecords(fs.Arg(i), *cell)
 		if err != nil {
 			return err
 		}
+		schemas[i] = schema
 		if aggs[i], err = aggregate(recs, win); err != nil {
 			return err
 		}
+	}
+	// Differing schemas mean the attribution categories or units may
+	// not line up — a delta table would compare unlike quantities.
+	// (Bare records and pre-schema reports have no schema and are
+	// assumed current.)
+	if schemas[0] != "" && schemas[1] != "" && schemas[0] != schemas[1] {
+		return fmt.Errorf("schema mismatch: %s is %q but %s is %q — attribution units may differ, refusing to diff",
+			fs.Arg(0), schemas[0], fs.Arg(1), schemas[1])
 	}
 	writeDiff(w, fs.Arg(0), fs.Arg(1), win, aggs[0], aggs[1])
 	return nil

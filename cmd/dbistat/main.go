@@ -121,6 +121,9 @@ func diff(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if why, mismatch := perfstat.SchemaMismatch(oldRep, newRep); mismatch {
+		fatalf("%s", why)
+	}
 	if ok, why := oldRep.Env.Comparable(newRep.Env); !ok {
 		fmt.Fprintf(os.Stderr, "dbistat: WARNING: recordings come from different environments (%s); wall-clock deltas may reflect the machine, not the code\n", why)
 	}

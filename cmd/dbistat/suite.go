@@ -1,17 +1,24 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"net"
+	"time"
 
 	"dbisim/internal/addr"
 	"dbisim/internal/cache"
 	"dbisim/internal/config"
 	"dbisim/internal/dbi"
+	"dbisim/internal/dbiserve"
 	"dbisim/internal/event"
 	"dbisim/internal/experiments"
 	"dbisim/internal/perfstat"
 	"dbisim/internal/system"
+	"dbisim/internal/telemetry"
 	"dbisim/internal/trace"
+	servedbi "dbisim/pkg/dbi"
 )
 
 // The recording suite. Micro targets mirror the `go test -bench`
@@ -42,6 +49,7 @@ func suite(kind string, seed int64) []perfstat.Target {
 			perfstat.Target{Name: "micro/sim.stream", Kind: perfstat.KindMicro, Run: func() (perfstat.Counts, error) {
 				return simStream(seed)
 			}},
+			perfstat.Target{Name: "micro/shard.setdirty", Kind: perfstat.KindMicro, Run: shardSetDirty},
 		)
 	}
 	if kind == "all" || kind == perfstat.KindMacro {
@@ -68,6 +76,9 @@ func suite(kind string, seed int64) []perfstat.Target {
 				}
 				return nil
 			}),
+			perfstat.Target{Name: "macro/served_loadtest", Kind: perfstat.KindMacro, Run: func() (perfstat.Counts, error) {
+				return servedLoadtest(seed)
+			}},
 			macroTarget("macro/flushlat", seed, func(o experiments.Options) error {
 				// One Flush is sub-millisecond — below the host's
 				// scheduling-noise floor — so run a batch per round to
@@ -105,11 +116,7 @@ func eventChain() (perfstat.Counts, error) {
 // microDBI builds the 16MB-cache-sized DBI the dbi micro-benchmarks
 // use.
 func microDBI() (*dbi.DBI, error) {
-	return dbi.New(addr.Default(), config.DBIParams{
-		AlphaNum: 1, AlphaDen: 4, Granularity: 64,
-		Associativity: 16, Latency: 4,
-		Replacement: config.DBILRW, BIPEpsilonDen: 64,
-	}, 262144, 1)
+	return dbi.New(dbi.WithCacheBlocks(262144), dbi.WithSeed(1))
 }
 
 // dbiSetDirty measures the hot write path including evictions.
@@ -137,6 +144,60 @@ func dbiIsDirty() (perfstat.Counts, error) {
 		d.IsDirty(addr.BlockAddr(i & 8191))
 	}
 	return perfstat.Counts{Ops: microOps}, nil
+}
+
+// shardSetDirty measures the service-facing sharded tracker's batch
+// write path — hashing, striped locking and eviction harvesting —
+// which is what every dbiserved request rides on.
+func shardSetDirty() (perfstat.Counts, error) {
+	tr, err := servedbi.NewSharded(8, servedbi.WithRows(1<<16), servedbi.WithSeed(1))
+	if err != nil {
+		return perfstat.Counts{}, err
+	}
+	const batch = 128
+	keys := make([]servedbi.Key, batch)
+	var sink []servedbi.Key
+	for i := 0; i < microOps; i += batch {
+		for j := range keys {
+			keys[j] = servedbi.Key(uint64(i+j) * 37)
+		}
+		sink = tr.SetDirtyBatch(keys, sink[:0])
+	}
+	return perfstat.Counts{Ops: microOps}, nil
+}
+
+// servedLoadtest boots a dbiserved instance in-process on loopback and
+// drives a short closed-loop binary-protocol burst, reporting applied
+// SetDirty ops plus the driver's own throughput and tail latency via
+// Extra — the recording-suite twin of the CI loadtest job's absolute
+// gates. Client count stays modest so the number measures the service
+// stack, not runner-core contention.
+func servedLoadtest(seed int64) (perfstat.Counts, error) {
+	tr, err := servedbi.NewSharded(8, servedbi.WithRows(1<<16), servedbi.WithSeed(1))
+	if err != nil {
+		return perfstat.Counts{}, err
+	}
+	srv := dbiserve.New(tr, telemetry.NewRegistry())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return perfstat.Counts{}, err
+	}
+	defer ln.Close()
+	go srv.ServeBinary(ln)
+	rep, err := dbiserve.RunLoad(context.Background(), dbiserve.LoadConfig{
+		Addr: ln.Addr().String(), Protocol: "binary", Clients: 8, Batch: 128,
+		Duration: 2 * time.Second, Profile: "stream", Seed: seed,
+	})
+	if err != nil {
+		return perfstat.Counts{}, err
+	}
+	if rep.Errors > 0 {
+		return perfstat.Counts{}, fmt.Errorf("loadtest reported %d errors", rep.Errors)
+	}
+	return perfstat.Counts{Ops: rep.SetKeys, Extra: map[string]float64{
+		"set_ops_per_sec": rep.SetOpsSec,
+		"p99_us":          float64(rep.P99us),
+	}}, nil
 }
 
 // traceNext measures the synthetic trace generator's record loop — page

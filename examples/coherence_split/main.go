@@ -23,10 +23,10 @@ import (
 
 func main() {
 	geo := addr.Default()
-	index, err := dbi.New(geo, config.DBIParams{
+	index, err := dbi.New(dbi.WithGeometry(geo), dbi.WithParams(config.DBIParams{
 		AlphaNum: 1, AlphaDen: 4, Granularity: 64,
 		Associativity: 16, Latency: 4, Replacement: config.DBILRW,
-	}, 32768, 1)
+	}), dbi.WithCacheBlocks(32768), dbi.WithSeed(1))
 	if err != nil {
 		panic(err)
 	}

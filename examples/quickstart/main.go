@@ -32,7 +32,8 @@ func main() {
 		Replacement:   config.DBILRW,
 		BIPEpsilonDen: 64,
 	}
-	index, err := dbi.New(geo, params, 16384, 1)
+	index, err := dbi.New(dbi.WithGeometry(geo), dbi.WithParams(params),
+		dbi.WithCacheBlocks(16384), dbi.WithSeed(1))
 	if err != nil {
 		panic(err)
 	}

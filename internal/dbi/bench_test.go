@@ -4,16 +4,11 @@ import (
 	"testing"
 
 	"dbisim/internal/addr"
-	"dbisim/internal/config"
 )
 
 func benchDBI(b *testing.B) *DBI {
 	b.Helper()
-	d, err := New(addr.Default(), config.DBIParams{
-		AlphaNum: 1, AlphaDen: 4, Granularity: 64,
-		Associativity: 16, Latency: 4,
-		Replacement: config.DBILRW, BIPEpsilonDen: 64,
-	}, 262144, 1) // 16MB-cache-sized DBI: 1024 entries
+	d, err := New(WithCacheBlocks(262144), WithSeed(1)) // 16MB-cache-sized DBI: 1024 entries
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -71,6 +71,24 @@ func (d *DBI) Flush() []Eviction {
 	return evs
 }
 
+// FlushRegionInto harvests every dirty block of b's region, appending
+// to dst, and invalidates the entry so nothing in the region is dirty
+// afterwards. This is the AWB primitive a flush coordinator wants: one
+// query yields the whole row's writeback batch and retires the entry
+// in the same step. Unlike a capacity eviction it is deliberate, so it
+// counts as a lookup, not an eviction.
+func (d *DBI) FlushRegionInto(b addr.BlockAddr, dst []addr.BlockAddr) []addr.BlockAddr {
+	d.Stat.Lookups.Inc()
+	e := d.find(d.RegionOf(b))
+	if e == nil {
+		return dst
+	}
+	dst = d.blocksOfInto(e, dst)
+	e.Valid = false
+	e.clearAll()
+	return dst
+}
+
 // DirtyInRange lists dirty blocks within [lo, hi) — the coherence query
 // a bulk DMA from memory must answer before reading the range.
 func (d *DBI) DirtyInRange(lo, hi addr.BlockAddr) []addr.BlockAddr {

@@ -22,7 +22,7 @@ func TestRowHasDirty(t *testing.T) {
 func TestRowHasDirtyFullRowGranularity(t *testing.T) {
 	p := params(config.DBILRW)
 	p.Granularity = 128
-	d, err := New(addr.Default(), p, 32768, 1)
+	d, err := New(WithParams(p), WithCacheBlocks(32768), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -106,9 +106,17 @@ type DBI struct {
 	Stat Stats
 }
 
-// New builds a DBI sized for a cache of cacheBlocks blocks: the DBI
-// tracks α × cacheBlocks blocks in entries of Granularity blocks each.
-func New(geo addr.Geometry, prm config.DBIParams, cacheBlocks int, seed int64) (*DBI, error) {
+// New builds a DBI from functional options (options.go). Sizing comes
+// from exactly one of WithCacheBlocks (track α × the cache's blocks,
+// the simulator's framing) or WithRows (an explicit entry budget, the
+// service framing); everything else defaults to the paper's Table-1
+// DBI against the default geometry.
+func New(opts ...Option) (*DBI, error) {
+	o := options{geo: addr.Default(), prm: DefaultParams()}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	geo, prm := o.geo, o.prm
 	if err := prm.Validate(); err != nil {
 		return nil, err
 	}
@@ -116,7 +124,18 @@ func New(geo addr.Geometry, prm config.DBIParams, cacheBlocks int, seed int64) (
 		return nil, fmt.Errorf("dbi: granularity %d exceeds %d blocks per DRAM row",
 			prm.Granularity, geo.BlocksPerRow())
 	}
-	entries := prm.Entries(cacheBlocks)
+	var entries int
+	switch {
+	case o.rows > 0:
+		entries = o.rows
+		if entries < prm.Associativity {
+			entries = prm.Associativity
+		}
+	case o.cacheBlocks > 0:
+		entries = prm.Entries(o.cacheBlocks)
+	default:
+		return nil, fmt.Errorf("dbi: capacity unset: pass WithCacheBlocks or WithRows")
+	}
 	sets := entries / prm.Associativity
 	if sets < 1 {
 		sets = 1
@@ -125,7 +144,7 @@ func New(geo addr.Geometry, prm config.DBIParams, cacheBlocks int, seed int64) (
 	for sets&(sets-1) != 0 {
 		sets &= sets - 1
 	}
-	src := rand.NewSource(seed)
+	src := rand.NewSource(o.seed)
 	d := &DBI{
 		geo:         geo,
 		prm:         prm,

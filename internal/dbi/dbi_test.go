@@ -20,7 +20,7 @@ func params(repl config.DBIReplacement) config.DBIParams {
 // granularity 64 -> 128 entries, 4-way -> 32 sets.
 func newDBI(t *testing.T, repl config.DBIReplacement) *DBI {
 	t.Helper()
-	d, err := New(addr.Default(), params(repl), 32768, 1)
+	d, err := New(WithParams(params(repl)), WithCacheBlocks(32768), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,12 +57,12 @@ func TestGeometry(t *testing.T) {
 func TestNewRejectsBadParams(t *testing.T) {
 	p := params(config.DBILRW)
 	p.Granularity = 256 // exceeds 128 blocks per row
-	if _, err := New(addr.Default(), p, 32768, 1); err == nil {
+	if _, err := New(WithParams(p), WithCacheBlocks(32768), WithSeed(1)); err == nil {
 		t.Fatal("granularity above blocks-per-row accepted")
 	}
 	p = params(config.DBILRW)
 	p.AlphaDen = 0
-	if _, err := New(addr.Default(), p, 32768, 1); err == nil {
+	if _, err := New(WithParams(p), WithCacheBlocks(32768), WithSeed(1)); err == nil {
 		t.Fatal("bad alpha accepted")
 	}
 }
@@ -233,7 +233,7 @@ func TestLRWBIPInsertsAtLRWPosition(t *testing.T) {
 	// itself, never the established (rewritten) entries.
 	p := params(config.DBILRWBIP)
 	p.BIPEpsilonDen = 1 << 30
-	d, err := New(addr.Default(), p, 32768, 2)
+	d, err := New(WithParams(p), WithCacheBlocks(32768), WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestLRWBIPEpsilonOneBehavesLikeLRW(t *testing.T) {
 	// plain LRW: a long enough stream cycles the whole set.
 	p := params(config.DBILRWBIP)
 	p.BIPEpsilonDen = 1
-	d, err := New(addr.Default(), p, 32768, 2)
+	d, err := New(WithParams(p), WithCacheBlocks(32768), WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestLRWBIPEpsilonOneBehavesLikeLRW(t *testing.T) {
 func TestRegionMappingGranularity(t *testing.T) {
 	p := params(config.DBILRW)
 	p.Granularity = 16
-	d, err := New(addr.Default(), p, 32768, 1)
+	d, err := New(WithParams(p), WithCacheBlocks(32768), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +334,7 @@ func TestDirtyCountTracksAll(t *testing.T) {
 // whole regions).
 func TestQuickReferenceModel(t *testing.T) {
 	f := func(ops []uint32) bool {
-		d, err := New(addr.Default(), params(config.DBILRW), 4096, 3)
+		d, err := New(WithParams(params(config.DBILRW)), WithCacheBlocks(4096), WithSeed(3))
 		if err != nil {
 			return false
 		}
@@ -379,7 +379,7 @@ func TestQuickReferenceModel(t *testing.T) {
 // Property: the DBI never tracks more dirty blocks than α allows.
 func TestQuickCapacityBound(t *testing.T) {
 	f := func(ops []uint32) bool {
-		d, err := New(addr.Default(), params(config.DBILRW), 4096, 5)
+		d, err := New(WithParams(params(config.DBILRW)), WithCacheBlocks(4096), WithSeed(5))
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,80 @@
+package dbi
+
+import (
+	"dbisim/internal/addr"
+	"dbisim/internal/config"
+)
+
+// Option configures New. The constructor follows the system.New
+// functional-options style: every knob has a default (the paper's
+// Table-1 DBI against the default geometry), capacity is the one thing
+// a caller must state — either WithCacheBlocks (simulator usage: the
+// DBI tracks α × the cache's blocks) or WithRows (service usage: an
+// explicit entry budget, one entry per row-region).
+type Option func(*options)
+
+type options struct {
+	geo         addr.Geometry
+	prm         config.DBIParams
+	cacheBlocks int
+	rows        int
+	seed        int64
+}
+
+// DefaultParams returns the paper's Table-1 DBI parameters: α = 1/4,
+// 64-block granularity, 16 ways, 4-cycle lookup, LRW replacement.
+func DefaultParams() config.DBIParams {
+	return config.DBIParams{
+		AlphaNum: 1, AlphaDen: 4, Granularity: 64,
+		Associativity: 16, Latency: 4,
+		Replacement: config.DBILRW, BIPEpsilonDen: 64,
+	}
+}
+
+// WithGeometry sets the address geometry the DBI maps blocks and rows
+// with (default addr.Default(): 64B blocks, 8KB rows, 8 banks).
+func WithGeometry(g addr.Geometry) Option {
+	return func(o *options) { o.geo = g }
+}
+
+// WithParams replaces the whole parameter block at once — the bulk
+// form the simulator uses to pass a SystemConfig's DBI section
+// through. Finer-grained options applied after it override fields.
+func WithParams(p config.DBIParams) Option {
+	return func(o *options) { o.prm = p }
+}
+
+// WithCacheBlocks sizes the DBI for a cache of n blocks: the entry
+// count is α × n / granularity (config.DBIParams.Entries).
+func WithCacheBlocks(n int) Option {
+	return func(o *options) { o.cacheBlocks = n; o.rows = 0 }
+}
+
+// WithRows sets the entry budget directly: the DBI can track up to n
+// row-regions at once, whatever α says. This is the service-facing
+// sizing — a dirty-tracking server thinks in rows, not cache blocks.
+func WithRows(n int) Option {
+	return func(o *options) { o.rows = n; o.cacheBlocks = 0 }
+}
+
+// WithGranularity sets blocks tracked per entry (power of two, at most
+// the geometry's blocks per row).
+func WithGranularity(g int) Option {
+	return func(o *options) { o.prm.Granularity = g }
+}
+
+// WithAssociativity sets the DBI's set associativity.
+func WithAssociativity(w int) Option {
+	return func(o *options) { o.prm.Associativity = w }
+}
+
+// WithReplacement selects the entry replacement policy (Section 4.3).
+func WithReplacement(r config.DBIReplacement) Option {
+	return func(o *options) { o.prm.Replacement = r }
+}
+
+// WithSeed seeds the replacement policies' randomness (LRW-BIP's
+// bimodal insertion). Same seed, same stream.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}

@@ -241,7 +241,8 @@ func New(eng *event.Engine, geo addr.Geometry, c Config) (*LLC, error) {
 		vwqDepth: 2,
 	}
 	if sys.Mechanism.UsesDBI() {
-		d, err := dbi.New(geo, sys.DBI, sys.L3.Blocks(), c.Seed+1)
+		d, err := dbi.New(dbi.WithGeometry(geo), dbi.WithParams(sys.DBI),
+			dbi.WithCacheBlocks(sys.L3.Blocks()), dbi.WithSeed(c.Seed+1))
 		if err != nil {
 			return nil, fmt.Errorf("llc: %w", err)
 		}

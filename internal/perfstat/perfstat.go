@@ -18,6 +18,7 @@ package perfstat
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -43,6 +44,12 @@ type Counts struct {
 	// Ops is abstract operations for micro loops (DBI lookups, events
 	// scheduled, ...).
 	Ops uint64
+	// Extra carries target-specific metrics the runner records as-is
+	// (already in final units, e.g. "p99_us" from a load driver) rather
+	// than deriving per-second rates. Keys ending in _per_sec gate as
+	// larger-is-better; everything else as smaller-is-better, per
+	// Direction.
+	Extra map[string]float64
 }
 
 // Target is one benchmark the runner executes.
@@ -68,7 +75,10 @@ func Direction(metric string) int {
 	switch metric {
 	case "cycles_per_sec", "events_per_sec", "cells_per_sec", "ops_per_sec":
 		return +1
-	default: // wall_ns, allocs_per_cell, bytes_per_cell, ...
+	default: // wall_ns, allocs_per_cell, bytes_per_cell, p99_us, ...
+		if strings.HasSuffix(metric, "_per_sec") {
+			return +1
+		}
 		return -1
 	}
 }
@@ -155,6 +165,9 @@ func measure(t Target) (map[string]float64, error) {
 	if c.Cells > 0 {
 		m["allocs_per_cell"] = float64(after.Mallocs-before.Mallocs) / float64(c.Cells)
 		m["bytes_per_cell"] = float64(after.TotalAlloc-before.TotalAlloc) / float64(c.Cells)
+	}
+	for name, v := range c.Extra {
+		m[name] = v
 	}
 	return m, nil
 }

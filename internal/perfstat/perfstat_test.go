@@ -209,14 +209,32 @@ func TestReportRoundTrip(t *testing.T) {
 		t.Fatalf("round-trip benchmark = %+v", b)
 	}
 
-	// Unknown schemas must be rejected, not misread.
+	// Foreign schemas must be rejected, not misread.
 	bad := dir + "/bad.json"
-	rep.Schema = "dbistat/v999"
+	rep.Schema = "othertool/v1"
 	if err := rep.WriteFile(bad); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ReadReport(bad); err == nil {
-		t.Fatal("ReadReport accepted an unknown schema")
+		t.Fatal("ReadReport accepted a foreign schema")
+	}
+
+	// Future dbistat schemas load — the version skew is surfaced by
+	// SchemaMismatch at diff time instead of failing the read.
+	future := dir + "/future.json"
+	rep.Schema = "dbistat/v999"
+	if err := rep.WriteFile(future); err != nil {
+		t.Fatal(err)
+	}
+	fut, err := ReadReport(future)
+	if err != nil {
+		t.Fatalf("ReadReport rejected a future dbistat schema: %v", err)
+	}
+	if _, mismatch := SchemaMismatch(got, fut); !mismatch {
+		t.Fatal("SchemaMismatch missed differing schema versions")
+	}
+	if why, mismatch := SchemaMismatch(got, got); mismatch {
+		t.Fatalf("SchemaMismatch on identical schemas: %s", why)
 	}
 }
 

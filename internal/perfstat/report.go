@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 )
 
@@ -70,7 +71,10 @@ func (r *Report) WriteFile(path string) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-// ReadReport loads and validates a recording.
+// ReadReport loads and validates a recording. Any dbistat/* schema
+// loads — summaries are forward-readable — so a version skew between
+// two recordings surfaces where it matters, in the diff, as an
+// explicit mismatch instead of a bogus delta (see SchemaMismatch).
 func ReadReport(path string) (*Report, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -80,8 +84,20 @@ func ReadReport(path string) (*Report, error) {
 	if err := json.Unmarshal(b, &r); err != nil {
 		return nil, fmt.Errorf("perfstat: parsing %s: %w", path, err)
 	}
-	if r.Schema != Schema {
+	if !strings.HasPrefix(r.Schema, "dbistat/") {
 		return nil, fmt.Errorf("perfstat: %s has schema %q, this build reads %q", path, r.Schema, Schema)
 	}
 	return &r, nil
+}
+
+// SchemaMismatch reports whether two recordings use different schema
+// versions — in which case metric definitions (names, units) may
+// disagree and a diff between them would compare unlike quantities.
+// Diff front-ends must refuse with the returned explanation rather
+// than print a delta table.
+func SchemaMismatch(a, b *Report) (string, bool) {
+	if a.Schema == b.Schema {
+		return "", false
+	}
+	return fmt.Sprintf("schema mismatch: recordings use %q and %q — metric units may differ, refusing to diff unlike quantities", a.Schema, b.Schema), true
 }

@@ -67,9 +67,16 @@ func (r *Recorder) Records() []Record {
 	return out
 }
 
+// ReportSchema identifies the sweep report document layout. Tools
+// that compare two reports (dbiscope diff) refuse to diff documents
+// with different non-empty schemas; reports from before the field
+// existed unmarshal with an empty Schema and are assumed compatible.
+const ReportSchema = "dbisweep/v1"
+
 // Report is the top-level -json document: per-cell metrics plus the
 // wall-clock accounting that lets CI track the sweep's speedup.
 type Report struct {
+	Schema      string   `json:"schema,omitempty"`
 	Seed        int64    `json:"seed"`
 	Workers     int      `json:"workers"`
 	Quick       bool     `json:"quick"`
@@ -92,6 +99,7 @@ func (r *Recorder) Report(seed int64, workers int, quick bool, experiments []str
 		busy += c.ElapsedMS / 1000
 	}
 	rep := Report{
+		Schema:      ReportSchema,
 		Seed:        seed,
 		Workers:     workers,
 		Quick:       quick,

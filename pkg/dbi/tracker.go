@@ -1,0 +1,369 @@
+package dbi
+
+import (
+	"fmt"
+	"sync"
+
+	"dbisim/internal/addr"
+	coredbi "dbisim/internal/dbi"
+)
+
+// Batcher extends Tracker with the batch forms the wire protocols are
+// built on: one lock round per shard per batch instead of one per key,
+// results appended into caller-owned buffers so a pipelined server
+// allocates nothing per request.
+type Batcher interface {
+	Tracker
+	// SetDirtyBatch marks every key dirty in order, appending all
+	// evicted keys to dst and returning it.
+	SetDirtyBatch(keys []Key, dst []Key) []Key
+	// IsDirtyBatch appends one answer per key to dst and returns it.
+	IsDirtyBatch(keys []Key, dst []bool) []bool
+	// FlushRowsInto flushes the row of each key (duplicate rows flush
+	// once — the first key wins, later ones find the row clean),
+	// appending every harvested key to dst.
+	FlushRowsInto(keys []Key, dst []Key) []Key
+}
+
+// geom maps keys to rows.
+type geom struct {
+	shift   uint
+	rowSize int
+}
+
+func (g geom) rowOf(k Key) Row { return Row(uint64(k) >> g.shift) }
+
+// shard is one internal/dbi core behind one mutex, plus the recycled
+// scratch buffer its queries append into. The trailing pad keeps
+// neighboring shards' mutexes off one cache line under striping.
+type shard struct {
+	mu          sync.Mutex
+	d           *coredbi.DBI
+	scratch     []addr.BlockAddr
+	flushes     uint64
+	flushedKeys uint64
+	_           [32]byte
+}
+
+func (s *shard) setDirty(b addr.BlockAddr, dst []Key) []Key {
+	s.mu.Lock()
+	ev, evicted := s.d.SetDirtyInto(b, s.scratch)
+	if evicted {
+		s.scratch = ev.Blocks[:0]
+		for _, blk := range ev.Blocks {
+			dst = append(dst, Key(blk))
+		}
+	}
+	s.mu.Unlock()
+	return dst
+}
+
+func (s *shard) isDirty(b addr.BlockAddr) bool {
+	s.mu.Lock()
+	v := s.d.IsDirty(b)
+	s.mu.Unlock()
+	return v
+}
+
+func (s *shard) region(b addr.BlockAddr, dst []Key) []Key {
+	s.mu.Lock()
+	blocks := s.d.DirtyBlocksInRegionInto(b, s.scratch[:0])
+	s.scratch = blocks
+	for _, blk := range blocks {
+		dst = append(dst, Key(blk))
+	}
+	s.mu.Unlock()
+	return dst
+}
+
+func (s *shard) flushRow(b addr.BlockAddr, dst []Key) []Key {
+	s.mu.Lock()
+	blocks := s.d.FlushRegionInto(b, s.scratch[:0])
+	s.scratch = blocks
+	s.flushes++
+	s.flushedKeys += uint64(len(blocks))
+	for _, blk := range blocks {
+		dst = append(dst, Key(blk))
+	}
+	s.mu.Unlock()
+	return dst
+}
+
+func (s *shard) addStats(st *Stats) {
+	s.mu.Lock()
+	c := &s.d.Stat
+	st.ValidRows += s.d.ValidEntries()
+	st.DirtyKeys += s.d.DirtyCount()
+	st.Lookups += c.Lookups.Value()
+	st.Writes += c.Writes.Value()
+	st.Inserts += c.EntryInserts.Value()
+	st.Evictions += c.Evictions.Value()
+	st.EvictedKeys += c.EvictionBlocks.Value()
+	st.Flushes += s.flushes
+	st.FlushedKeys += s.flushedKeys
+	s.mu.Unlock()
+}
+
+// build constructs one shard's core sized for rows entries.
+func (c cfg) build(rows int, seed int64) (*coredbi.DBI, error) {
+	repl, err := c.repl.core()
+	if err != nil {
+		return nil, err
+	}
+	geo, err := addr.NewGeometry(1, uint64(c.rowSize), 1)
+	if err != nil {
+		return nil, fmt.Errorf("dbi: row size %d: %w", c.rowSize, err)
+	}
+	prm := coredbi.DefaultParams()
+	prm.AlphaNum, prm.AlphaDen = 1, 1
+	prm.Granularity = c.rowSize
+	prm.Associativity = c.assoc
+	prm.Replacement = repl
+	return coredbi.New(
+		coredbi.WithGeometry(geo),
+		coredbi.WithParams(prm),
+		coredbi.WithRows(rows),
+		coredbi.WithSeed(seed),
+	)
+}
+
+func (c cfg) validate() error {
+	switch {
+	case c.rows < 1:
+		return fmt.Errorf("dbi: row capacity %d", c.rows)
+	case c.rowSize < 1 || c.rowSize&(c.rowSize-1) != 0:
+		return fmt.Errorf("dbi: row size %d not a power of two", c.rowSize)
+	case c.assoc < 1:
+		return fmt.Errorf("dbi: associativity %d", c.assoc)
+	}
+	return nil
+}
+
+func (c cfg) geom() geom {
+	g := geom{rowSize: c.rowSize}
+	for v := uint64(c.rowSize); v > 1; v >>= 1 {
+		g.shift++
+	}
+	return g
+}
+
+// Single is a Tracker over one core behind one lock — the reference
+// implementation, and what each shard of a Sharded tracker is.
+type Single struct {
+	g  geom
+	sh shard
+}
+
+// New builds a single-core tracker.
+func New(opts ...Option) (*Single, error) {
+	c := defaults()
+	for _, fn := range opts {
+		fn(&c)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	d, err := c.build(c.rows, c.seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Single{g: c.geom(), sh: shard{d: d}}, nil
+}
+
+// RowOf returns the row containing k.
+func (t *Single) RowOf(k Key) Row { return t.g.rowOf(k) }
+
+// RowSize returns keys per row.
+func (t *Single) RowSize() int { return t.g.rowSize }
+
+// SetDirty implements Tracker.
+func (t *Single) SetDirty(k Key) []Key { return t.sh.setDirty(addr.BlockAddr(k), nil) }
+
+// IsDirty implements Tracker.
+func (t *Single) IsDirty(k Key) bool { return t.sh.isDirty(addr.BlockAddr(k)) }
+
+// DirtyBlocksInRegion implements Tracker.
+func (t *Single) DirtyBlocksInRegion(k Key) []Key { return t.sh.region(addr.BlockAddr(k), nil) }
+
+// FlushRow implements Tracker.
+func (t *Single) FlushRow(k Key) []Key { return t.sh.flushRow(addr.BlockAddr(k), nil) }
+
+// SetDirtyBatch implements Batcher.
+func (t *Single) SetDirtyBatch(keys []Key, dst []Key) []Key {
+	for _, k := range keys {
+		dst = t.sh.setDirty(addr.BlockAddr(k), dst)
+	}
+	return dst
+}
+
+// IsDirtyBatch implements Batcher.
+func (t *Single) IsDirtyBatch(keys []Key, dst []bool) []bool {
+	for _, k := range keys {
+		dst = append(dst, t.sh.isDirty(addr.BlockAddr(k)))
+	}
+	return dst
+}
+
+// FlushRowsInto implements Batcher.
+func (t *Single) FlushRowsInto(keys []Key, dst []Key) []Key {
+	for _, k := range keys {
+		dst = t.sh.flushRow(addr.BlockAddr(k), dst)
+	}
+	return dst
+}
+
+// Stats implements Tracker.
+func (t *Single) Stats() Stats {
+	st := Stats{Shards: 1, Rows: t.sh.d.Entries(), RowSize: t.g.rowSize}
+	t.sh.addStats(&st)
+	return st
+}
+
+// fibMix is the 64-bit Fibonacci-hashing multiplier (2^64/φ, odd).
+const fibMix = 0x9E3779B97F4A7C15
+
+// Sharded stripes rows across a power-of-two number of lock-striped
+// cores. Shard choice hashes the ROW, not the key, so every key of a
+// row lands in the same shard: row queries and AWB flushes are
+// single-lock, and a row's eviction batch never spans shards. The
+// hash takes the product's top bits, disjoint from the bit range each
+// core's own set index uses, so shard and set placement decorrelate.
+type Sharded struct {
+	g          geom
+	shards     []shard
+	shardShift uint
+}
+
+// NewSharded builds an n-shard tracker (n a power of two). The row
+// capacity from WithRows is the total across shards, split evenly
+// (rounded up, so effective capacity is never below the request).
+func NewSharded(n int, opts ...Option) (*Sharded, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dbi: shard count %d not a power of two", n)
+	}
+	c := defaults()
+	for _, fn := range opts {
+		fn(&c)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	t := &Sharded{g: c.geom(), shards: make([]shard, n), shardShift: 64}
+	for v := n; v > 1; v >>= 1 {
+		t.shardShift--
+	}
+	perShard := (c.rows + n - 1) / n
+	for i := range t.shards {
+		d, err := c.build(perShard, c.seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		t.shards[i].d = d
+	}
+	return t, nil
+}
+
+// ShardOf returns the shard index k's row maps to.
+func (t *Sharded) ShardOf(k Key) int {
+	return int((uint64(t.g.rowOf(k)) * fibMix) >> t.shardShift)
+}
+
+// ShardCount returns the number of shards.
+func (t *Sharded) ShardCount() int { return len(t.shards) }
+
+// RowOf returns the row containing k.
+func (t *Sharded) RowOf(k Key) Row { return t.g.rowOf(k) }
+
+// RowSize returns keys per row.
+func (t *Sharded) RowSize() int { return t.g.rowSize }
+
+func (t *Sharded) shardFor(k Key) *shard { return &t.shards[t.ShardOf(k)] }
+
+// SetDirty implements Tracker.
+func (t *Sharded) SetDirty(k Key) []Key { return t.shardFor(k).setDirty(addr.BlockAddr(k), nil) }
+
+// IsDirty implements Tracker.
+func (t *Sharded) IsDirty(k Key) bool { return t.shardFor(k).isDirty(addr.BlockAddr(k)) }
+
+// DirtyBlocksInRegion implements Tracker.
+func (t *Sharded) DirtyBlocksInRegion(k Key) []Key {
+	return t.shardFor(k).region(addr.BlockAddr(k), nil)
+}
+
+// FlushRow implements Tracker.
+func (t *Sharded) FlushRow(k Key) []Key { return t.shardFor(k).flushRow(addr.BlockAddr(k), nil) }
+
+// SetDirtyBatch implements Batcher. Keys are applied in order within
+// each shard; cross-shard order inside one batch is unspecified (the
+// answers — which keys each shard evicts — depend only on the
+// per-shard subsequence, so results are deterministic for a given
+// batch).
+func (t *Sharded) SetDirtyBatch(keys []Key, dst []Key) []Key {
+	if len(t.shards) == 1 {
+		s := &t.shards[0]
+		s.mu.Lock()
+		for _, k := range keys {
+			dst = t.lockedSet(s, addr.BlockAddr(k), dst)
+		}
+		s.mu.Unlock()
+		return dst
+	}
+	for si := range t.shards {
+		s := &t.shards[si]
+		locked := false
+		for _, k := range keys {
+			if t.ShardOf(k) != si {
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+			}
+			dst = t.lockedSet(s, addr.BlockAddr(k), dst)
+		}
+		if locked {
+			s.mu.Unlock()
+		}
+	}
+	return dst
+}
+
+// lockedSet is setDirty with s.mu already held, for the batch paths.
+func (t *Sharded) lockedSet(s *shard, b addr.BlockAddr, dst []Key) []Key {
+	ev, evicted := s.d.SetDirtyInto(b, s.scratch)
+	if evicted {
+		s.scratch = ev.Blocks[:0]
+		for _, blk := range ev.Blocks {
+			dst = append(dst, Key(blk))
+		}
+	}
+	return dst
+}
+
+// IsDirtyBatch implements Batcher. Answers stay in key order.
+func (t *Sharded) IsDirtyBatch(keys []Key, dst []bool) []bool {
+	for _, k := range keys {
+		dst = append(dst, t.IsDirty(k))
+	}
+	return dst
+}
+
+// FlushRowsInto implements Batcher.
+func (t *Sharded) FlushRowsInto(keys []Key, dst []Key) []Key {
+	for _, k := range keys {
+		dst = t.shardFor(k).flushRow(addr.BlockAddr(k), dst)
+	}
+	return dst
+}
+
+// Stats implements Tracker, aggregating across shards. Each shard is
+// read under its own lock; the result is a consistent per-shard,
+// approximate cross-shard snapshot.
+func (t *Sharded) Stats() Stats {
+	st := Stats{Shards: len(t.shards), RowSize: t.g.rowSize}
+	for i := range t.shards {
+		st.Rows += t.shards[i].d.Entries()
+		t.shards[i].addStats(&st)
+	}
+	return st
+}

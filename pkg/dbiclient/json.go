@@ -1,0 +1,109 @@
+package dbiclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dbisim/pkg/dbi"
+	"dbisim/pkg/dbiproto"
+)
+
+// JSONClient speaks the HTTP v1 protocol. The zero http.Client reuses
+// keep-alive connections, so sequential calls share a socket. Safe
+// for concurrent use.
+type JSONClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewJSON builds a client for a dbiserved HTTP address
+// ("host:port" or a full http:// URL).
+func NewJSON(addr string) *JSONClient {
+	if len(addr) < 7 || addr[:7] != "http://" {
+		addr = "http://" + addr
+	}
+	return &JSONClient{base: addr, hc: &http.Client{}}
+}
+
+func (c *JSONClient) post(ctx context.Context, path string, keys []uint64, out any) error {
+	body, err := json.Marshal(dbiproto.KeysRequest{Keys: keys})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *JSONClient) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		var e dbiproto.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error.Code != "" {
+			return &dbiproto.StatusError{Code: e.Error.Code, Message: e.Error.Message}
+		}
+		return fmt.Errorf("dbiclient: HTTP %d from %s", resp.StatusCode, req.URL.Path)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// SetDirty marks keys dirty and returns the keys evicted doing so.
+func (c *JSONClient) SetDirty(ctx context.Context, keys []uint64) ([]uint64, error) {
+	var r dbiproto.SetResponse
+	if err := c.post(ctx, "/v1/set", keys, &r); err != nil {
+		return nil, err
+	}
+	return r.Evicted, nil
+}
+
+// IsDirty reports each key's dirty status, in order.
+func (c *JSONClient) IsDirty(ctx context.Context, keys []uint64) ([]bool, error) {
+	var r dbiproto.DirtyResponse
+	if err := c.post(ctx, "/v1/dirty", keys, &r); err != nil {
+		return nil, err
+	}
+	return r.Dirty, nil
+}
+
+// Region returns the dirty keys co-located in each key's row.
+func (c *JSONClient) Region(ctx context.Context, keys []uint64) ([]uint64, error) {
+	var r dbiproto.KeysResponse
+	if err := c.post(ctx, "/v1/region", keys, &r); err != nil {
+		return nil, err
+	}
+	return r.Keys, nil
+}
+
+// FlushRows flushes each key's row, returning all harvested keys.
+func (c *JSONClient) FlushRows(ctx context.Context, keys []uint64) ([]uint64, error) {
+	var r dbiproto.KeysResponse
+	if err := c.post(ctx, "/v1/flush", keys, &r); err != nil {
+		return nil, err
+	}
+	return r.Keys, nil
+}
+
+// Stats fetches the tracker snapshot.
+func (c *JSONClient) Stats(ctx context.Context) (dbi.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return dbi.Stats{}, err
+	}
+	var st dbi.Stats
+	err = c.do(req, &st)
+	return st, err
+}

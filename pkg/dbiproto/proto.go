@@ -1,0 +1,124 @@
+// Package dbiproto defines the dbiserved wire protocols: the JSON
+// types served over HTTP under /v1/, and the length-prefixed binary
+// batch protocol the high-throughput path speaks over TCP. Both carry
+// the same five operations against a dbi.Tracker and must return
+// identical answers; PROTOCOL.md is the normative description.
+//
+// Versioning: the JSON protocol is versioned by URL prefix (/v1/),
+// the binary protocol by the version byte in every frame header.
+// Within a major version, fields/opcodes may be added but never
+// removed or reinterpreted.
+package dbiproto
+
+import "fmt"
+
+// Version is the current protocol major version, shared by the /v1/
+// URL prefix and the binary frame version byte.
+const Version = 1
+
+// Error codes, shared verbatim by the JSON error envelope and (via
+// StatusOf/CodeOf) the binary status byte.
+const (
+	CodeBadRequest = "bad_request" // malformed payload or parameters
+	CodeBadVersion = "bad_version" // unsupported protocol version
+	CodeTooLarge   = "too_large"   // frame or batch over the size cap
+	CodeInternal   = "internal"    // server-side failure
+)
+
+// --- JSON v1 types -------------------------------------------------
+//
+// Key batches travel as arrays of uint64. Requests POST a KeysRequest;
+// responses carry the operation-specific answer. Errors use the
+// ErrorResponse envelope with a non-2xx status.
+
+// KeysRequest is the request body for /v1/set, /v1/dirty, /v1/region
+// and /v1/flush: the batch of keys to operate on.
+type KeysRequest struct {
+	Keys []uint64 `json:"keys"`
+}
+
+// SetResponse answers /v1/set: all keys displaced by evictions while
+// applying the batch, in eviction order.
+type SetResponse struct {
+	Evicted []uint64 `json:"evicted"`
+}
+
+// DirtyResponse answers /v1/dirty: one answer per request key, in
+// request order.
+type DirtyResponse struct {
+	Dirty []bool `json:"dirty"`
+}
+
+// KeysResponse answers /v1/region (dirty keys co-located in each
+// queried key's row) and /v1/flush (keys harvested by flushing each
+// key's row).
+type KeysResponse struct {
+	Keys []uint64 `json:"keys"`
+}
+
+// StatsResponse answers GET /v1/stats. The payload mirrors
+// dbi.Stats' JSON encoding; it is declared in pkg/dbi to keep the
+// field set single-sourced.
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody carries the machine-readable code and human detail.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// --- status byte mapping -------------------------------------------
+
+// Binary status bytes. 0 is success; the rest map 1:1 onto the JSON
+// error codes.
+const (
+	StatusOK         = 0
+	StatusBadRequest = 1
+	StatusBadVersion = 2
+	StatusTooLarge   = 3
+	StatusInternal   = 4
+)
+
+// StatusOf maps a JSON error code to its binary status byte.
+func StatusOf(code string) byte {
+	switch code {
+	case CodeBadRequest:
+		return StatusBadRequest
+	case CodeBadVersion:
+		return StatusBadVersion
+	case CodeTooLarge:
+		return StatusTooLarge
+	}
+	return StatusInternal
+}
+
+// CodeOf maps a binary status byte back to the JSON error code.
+func CodeOf(status byte) string {
+	switch status {
+	case StatusBadRequest:
+		return CodeBadRequest
+	case StatusBadVersion:
+		return CodeBadVersion
+	case StatusTooLarge:
+		return CodeTooLarge
+	}
+	return CodeInternal
+}
+
+// StatusError is the typed error a client returns when the server
+// answered with a non-OK status.
+type StatusError struct {
+	Code    string
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("dbiserved: %s", e.Code)
+	}
+	return fmt.Sprintf("dbiserved: %s: %s", e.Code, e.Message)
+}
