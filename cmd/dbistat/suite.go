@@ -42,6 +42,8 @@ func suite(kind string, seed int64) []perfstat.Target {
 			perfstat.Target{Name: "micro/event.chain", Kind: perfstat.KindMicro, Run: eventChain},
 			perfstat.Target{Name: "micro/dbi.setdirty", Kind: perfstat.KindMicro, Run: dbiSetDirty},
 			perfstat.Target{Name: "micro/dbi.isdirty", Kind: perfstat.KindMicro, Run: dbiIsDirty},
+			perfstat.Target{Name: "micro/dbi.region", Kind: perfstat.KindMicro, Run: dbiRegion},
+			perfstat.Target{Name: "micro/cache.lookup", Kind: perfstat.KindMicro, Run: cacheLookup},
 			perfstat.Target{Name: "micro/trace.next", Kind: perfstat.KindMicro, Run: func() (perfstat.Counts, error) {
 				return traceNext(seed)
 			}},
@@ -142,6 +144,50 @@ func dbiIsDirty() (perfstat.Counts, error) {
 	}
 	for i := 0; i < microOps; i++ {
 		d.IsDirty(addr.BlockAddr(i & 8191))
+	}
+	return perfstat.Counts{Ops: microOps}, nil
+}
+
+// dbiRegion measures the AWB harvest query — DirtyBlocksInRegionInto
+// against a warm DBI with row-local dirty clusters — the word-at-a-time
+// bit-decode path the columnar store rewrote.
+func dbiRegion() (perfstat.Counts, error) {
+	d, err := microDBI()
+	if err != nil {
+		return perfstat.Counts{}, err
+	}
+	g := d.Granularity()
+	for r := 0; r < 2048; r++ {
+		for i := 0; i < g; i += 4 {
+			d.SetDirty(addr.BlockAddr(r*g + i))
+		}
+	}
+	var dst []addr.BlockAddr
+	for i := 0; i < microOps; i++ {
+		dst = d.DirtyBlocksInRegionInto(addr.BlockAddr((i&2047)*g), dst[:0])
+	}
+	return perfstat.Counts{Ops: microOps}, nil
+}
+
+// cacheLookup measures the tag-store probe plane: a hit-heavy Access
+// stream against a warm 16-way cache, the branchless way-scan every
+// demand access rides on.
+func cacheLookup() (perfstat.Counts, error) {
+	p := config.CacheParams{
+		SizeBytes: 2 << 20, Ways: 16, BlockSize: 64,
+		TagLatency: 2, DataLatency: 8, MSHRs: 32,
+		Replacement: config.ReplLRU,
+	}
+	c, err := cache.New(p, 1, 1)
+	if err != nil {
+		return perfstat.Counts{}, err
+	}
+	blocks := c.Sets() * c.Ways()
+	for i := 0; i < blocks; i++ {
+		c.Insert(addr.BlockAddr(i), 0, false)
+	}
+	for i := 0; i < microOps; i++ {
+		c.Access(addr.BlockAddr((i*37)&(blocks-1)), 0)
 	}
 	return perfstat.Counts{Ops: microOps}, nil
 }

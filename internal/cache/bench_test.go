@@ -40,3 +40,31 @@ func BenchmarkInsertEvict(b *testing.B) {
 		c.Insert(addr.BlockAddr(i*13), 0, i&1 == 0)
 	}
 }
+
+// BenchmarkLookup measures the pure branchless tag probe: a full-set
+// scan over the dense addr/gen columns with no replacement update.
+func BenchmarkLookup(b *testing.B) {
+	c := benchCache(b)
+	blocks := c.Params().Blocks()
+	for i := 0; i < blocks; i++ {
+		c.Insert(addr.BlockAddr(i), 0, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(addr.BlockAddr((i * 37) & (blocks - 1)))
+	}
+}
+
+// BenchmarkMSHRRegisterComplete measures the miss-file probe over the
+// dense key column: register a miss, merge a second waiter, complete.
+func BenchmarkMSHRRegisterComplete(b *testing.B) {
+	m := NewMSHR(32)
+	wake := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i&1023) | 1
+		m.Register(k, wake)
+		m.Register(k, wake)
+		m.Complete(k)
+	}
+}

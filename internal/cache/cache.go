@@ -12,6 +12,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dbisim/internal/addr"
 	"dbisim/internal/config"
@@ -27,18 +28,6 @@ type Block struct {
 	Thread int            // inserting thread (for TA-DIP and stats)
 }
 
-// entry is the internal tag-store slot. Validity is a generation stamp —
-// the slot is live iff gen equals the cache's current generation — so
-// Reset invalidates the whole tag store by bumping one counter instead
-// of an O(capacity) sweep. Every read path checks the stamp before
-// trusting the other fields, so stale contents are never observed.
-type entry struct {
-	gen    uint64
-	addr   addr.BlockAddr
-	dirty  bool
-	thread int
-}
-
 // Stats counts tag-store activity. TagLookups is the quantity Figure 6c
 // reports per kilo-instruction.
 type Stats struct {
@@ -52,12 +41,30 @@ type Stats struct {
 }
 
 // Cache is the structural model.
+//
+// The tag store is struct-of-arrays: instead of a slab of
+// entry{gen, addr, dirty, thread} records, each field lives in its own
+// dense column indexed by set*ways+way. The probe loop touches only the
+// two hot columns — the validity stamps and the block addresses — so a
+// 16-way set's probe plane is 2×128 contiguous bytes (two cache lines
+// per column) instead of 16 records dragging the cold dirty/thread
+// bytes through the scan. Validity is a generation stamp: a slot is
+// live iff gens[i] equals the cache's current generation, so Reset
+// invalidates the whole store by bumping one counter, and every read
+// path folds the stamp check into the tag compare.
 type Cache struct {
 	params config.CacheParams
 	sets   int
 	ways   int
 	gen    uint64 // current validity generation (starts at 1; 0 = never valid)
-	blocks []entry
+
+	// Hot probe plane: one stamp and one address per slot.
+	gens  []uint64
+	addrs []uint64
+	// Cold payload columns, touched only on hits and state changes.
+	dirty   []uint8
+	threads []int32
+
 	policy replacement.Policy
 
 	// Stats is exported for the owning level to read.
@@ -87,19 +94,23 @@ func New(p config.CacheParams, threads int, seed int64) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
+	n := p.Sets() * p.Ways
 	return &Cache{
-		params: p,
-		sets:   p.Sets(),
-		ways:   p.Ways,
-		gen:    1,
-		blocks: make([]entry, p.Sets()*p.Ways),
-		policy: pol,
+		params:  p,
+		sets:    p.Sets(),
+		ways:    p.Ways,
+		gen:     1,
+		gens:    make([]uint64, n),
+		addrs:   make([]uint64, n),
+		dirty:   make([]uint8, n),
+		threads: make([]int32, n),
+		policy:  pol,
 	}, nil
 }
 
 // Reset returns the cache to power-on state: every block invalid (one
 // generation bump), replacement state re-derived from seed exactly as
-// New would, statistics zeroed. The tag store and policy arrays are
+// New would, statistics zeroed. The tag columns and policy arrays are
 // retained, so a reset cache behaves bit-identically to a fresh one
 // without reallocating.
 func (c *Cache) Reset(seed int64) {
@@ -122,34 +133,61 @@ func (c *Cache) SetOf(b addr.BlockAddr) int {
 	return int(uint64(b) & uint64(c.sets-1))
 }
 
-// at returns the slot in (set, way).
-func (c *Cache) at(set, way int) *entry { return &c.blocks[set*c.ways+way] }
+// slot returns the column index of (set, way).
+func (c *Cache) slot(set, way int) int { return set*c.ways + way }
 
-// valid reports whether the slot's contents belong to the current
+// validAt reports whether the slot's contents belong to the current
 // generation.
-func (c *Cache) valid(e *entry) bool { return e.gen == c.gen }
+func (c *Cache) validAt(i int) bool { return c.gens[i] == c.gen }
 
 // BlockAt exposes the tag entry at (set, way) for diagnostics and for
 // mechanisms (VWQ, DAWB) that scan sets. Invalid slots read as the zero
 // Block regardless of their stale contents.
 func (c *Cache) BlockAt(set, way int) Block {
-	e := c.at(set, way)
-	if !c.valid(e) {
+	i := c.slot(set, way)
+	if !c.validAt(i) {
 		return Block{}
 	}
-	return Block{Valid: true, Addr: e.addr, Dirty: e.dirty, Thread: e.thread}
+	return Block{
+		Valid:  true,
+		Addr:   addr.BlockAddr(c.addrs[i]),
+		Dirty:  c.dirty[i] != 0,
+		Thread: int(c.threads[i]),
+	}
+}
+
+// b2u is the branch-free bool→uint64 the probe loops accumulate with;
+// the compiler lowers it to a flag-materializing move (SETcc/CSET), not
+// a jump.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // find locates a block without touching statistics or recency.
+//
+// The way scan is branchless: every way's tag and stamp are compared
+// (XOR-fold, so validity costs no extra compare) and the per-way match
+// bits accumulate into one mask — no early exit, so the loop's trip
+// count is data-independent and the branch predictor has nothing to
+// mispredict. At most one way can match (the insert path never admits
+// duplicates), making TrailingZeros the unique hit way.
 func (c *Cache) find(b addr.BlockAddr) (way int, ok bool) {
-	set := c.SetOf(b)
-	for w := 0; w < c.ways; w++ {
-		e := c.at(set, w)
-		if c.valid(e) && e.addr == b {
-			return w, true
-		}
+	base := c.SetOf(b) * c.ways
+	gens := c.gens[base : base+c.ways]
+	addrs := c.addrs[base : base+c.ways : base+c.ways]
+	key, gen := uint64(b), c.gen
+	var mask uint64
+	for w := range addrs {
+		miss := (addrs[w] ^ key) | (gens[w] ^ gen)
+		mask |= b2u(miss == 0) << uint(w)
 	}
-	return 0, false
+	if mask == 0 {
+		return 0, false
+	}
+	return bits.TrailingZeros64(mask), true
 }
 
 // Contains reports block presence without counting a tag lookup; it is
@@ -195,14 +233,16 @@ func (c *Cache) Touch(b addr.BlockAddr) {
 func (c *Cache) Insert(b addr.BlockAddr, thread int, dirty bool) (victim Block) {
 	set := c.SetOf(b)
 	if way, ok := c.find(b); ok {
-		// Already present: refresh dirty/thread state only.
-		e := c.at(set, way)
-		e.dirty = e.dirty || dirty
+		// Already present: refresh dirty state only.
+		if dirty {
+			c.dirty[c.slot(set, way)] = 1
+		}
 		return Block{}
 	}
 	way := -1
+	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		if !c.valid(c.at(set, w)) {
+		if c.gens[base+w] != c.gen {
 			way = w
 			break
 		}
@@ -215,10 +255,21 @@ func (c *Cache) Insert(b addr.BlockAddr, thread int, dirty bool) (victim Block) 
 			c.Stats.DirtyEvict.Inc()
 		}
 	}
-	*c.at(set, way) = entry{gen: c.gen, addr: b, dirty: dirty, thread: thread}
+	i := base + way
+	c.gens[i] = c.gen
+	c.addrs[i] = uint64(b)
+	c.dirty[i] = b2u8(dirty)
+	c.threads[i] = int32(thread)
 	c.policy.Insert(set, way, thread)
 	c.Stats.Inserts.Inc()
 	return victim
+}
+
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Invalidate removes a block if present and returns its prior state.
@@ -229,7 +280,7 @@ func (c *Cache) Invalidate(b addr.BlockAddr) (old Block, ok bool) {
 	}
 	set := c.SetOf(b)
 	old = c.BlockAt(set, way)
-	c.at(set, way).gen = 0
+	c.gens[c.slot(set, way)] = 0
 	return old, true
 }
 
@@ -240,7 +291,7 @@ func (c *Cache) SetDirty(b addr.BlockAddr, dirty bool) bool {
 	if !ok {
 		return false
 	}
-	c.at(c.SetOf(b), way).dirty = dirty
+	c.dirty[c.slot(c.SetOf(b), way)] = b2u8(dirty)
 	return true
 }
 
@@ -248,17 +299,16 @@ func (c *Cache) SetDirty(b addr.BlockAddr, dirty bool) bool {
 // without counting a lookup.
 func (c *Cache) IsDirty(b addr.BlockAddr) bool {
 	way, ok := c.find(b)
-	return ok && c.at(c.SetOf(b), way).dirty
+	return ok && c.dirty[c.slot(c.SetOf(b), way)] != 0
 }
 
 // DirtyBlocksInto appends the addresses of all dirty blocks to dst and
 // returns the extended slice, letting scan-heavy callers (flush loops,
 // AWB harvests) reuse one scratch buffer instead of allocating per call.
 func (c *Cache) DirtyBlocksInto(dst []addr.BlockAddr) []addr.BlockAddr {
-	for i := range c.blocks {
-		e := &c.blocks[i]
-		if c.valid(e) && e.dirty {
-			dst = append(dst, e.addr)
+	for i := range c.gens {
+		if c.validAt(i) && c.dirty[i] != 0 {
+			dst = append(dst, addr.BlockAddr(c.addrs[i]))
 		}
 	}
 	return dst
@@ -274,8 +324,8 @@ func (c *Cache) DirtyBlocks() []addr.BlockAddr {
 // CountValid returns the number of valid blocks (diagnostics).
 func (c *Cache) CountValid() int {
 	n := 0
-	for i := range c.blocks {
-		if c.valid(&c.blocks[i]) {
+	for i := range c.gens {
+		if c.validAt(i) {
 			n++
 		}
 	}

@@ -130,21 +130,25 @@ func (p *Port) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 //
 // The file is hardware-shaped rather than map-backed: a fixed slab of
 // capacity entries threaded on an intrusive free list, indexed by an
-// open-addressed, linear-probed table sized to at most 25% load. Waiter
-// slices are recycled through a small pool, so the steady state neither
-// allocates nor hashes through the Go runtime.
+// open-addressed, linear-probed table sized to at most 25% load. The
+// probe plane is two parallel dense columns — the occupancy/index word
+// and the block key — so a probe compares contiguous uint64 keys
+// without dereferencing into the entry slab; the slab holds only cold
+// payload (free-list links, waiter slices). Waiter slices are recycled
+// through a small pool, so the steady state neither allocates nor
+// hashes through the Go runtime.
 type MSHR struct {
 	capacity int
 	n        int         // live entries
 	entries  []mshrEntry // fixed slab, len == capacity
 	freeHead int32       // head of the free list through entries, -1 = none
 	table    []int32     // probe array: 0 = empty, else entry index + 1
+	keys     []uint64    // block key per occupied slot, parallel to table
 	mask     uint64
 	wsFree   [][]func() // recycled waiter slices (capacity retained)
 }
 
 type mshrEntry struct {
-	block   uint64
 	next    int32 // free-list link
 	waiters []func()
 }
@@ -163,6 +167,7 @@ func NewMSHR(capacity int) *MSHR {
 		entries:  make([]mshrEntry, capacity),
 		freeHead: -1,
 		table:    make([]int32, size),
+		keys:     make([]uint64, size),
 		mask:     size - 1,
 	}
 	for i := range m.entries {
@@ -181,6 +186,7 @@ func NewMSHR(capacity int) *MSHR {
 func (m *MSHR) Reset() {
 	for i := range m.table {
 		m.table[i] = 0
+		m.keys[i] = 0
 	}
 	for i := range m.entries {
 		e := &m.entries[i]
@@ -198,13 +204,14 @@ func (m *MSHR) Reset() {
 }
 
 // findSlot probes for block. It returns the matching table slot and
-// entry index, or (first empty slot, -1) when the block is absent.
+// entry index, or (first empty slot, -1) when the block is absent. The
+// probe loop reads only the two dense columns: occupancy from table,
+// the key compare from keys — the entry slab is untouched.
 func (m *MSHR) findSlot(block uint64) (slot uint64, idx int32) {
 	i := (block * mshrHashMul) & m.mask
 	for m.table[i] != 0 {
-		e := m.table[i] - 1
-		if m.entries[e].block == block {
-			return i, e
+		if m.keys[i] == block {
+			return i, m.table[i] - 1
 		}
 		i = (i + 1) & m.mask
 	}
@@ -235,7 +242,6 @@ func (m *MSHR) Register(block uint64, wake func()) (first bool) {
 	idx = m.freeHead
 	e := &m.entries[idx]
 	m.freeHead = e.next
-	e.block = block
 	if n := len(m.wsFree); e.waiters == nil && n > 0 {
 		e.waiters = m.wsFree[n-1]
 		m.wsFree[n-1] = nil
@@ -243,6 +249,7 @@ func (m *MSHR) Register(block uint64, wake func()) (first bool) {
 	}
 	e.waiters = append(e.waiters, wake)
 	m.table[slot] = idx + 1
+	m.keys[slot] = block
 	m.n++
 	return true
 }
@@ -284,15 +291,17 @@ func (m *MSHR) Complete(block uint64) {
 func (m *MSHR) deleteSlot(i uint64) {
 	for {
 		m.table[i] = 0
+		m.keys[i] = 0
 		j := i
 		for {
 			j = (j + 1) & m.mask
 			if m.table[j] == 0 {
 				return
 			}
-			home := (m.entries[m.table[j]-1].block * mshrHashMul) & m.mask
+			home := (m.keys[j] * mshrHashMul) & m.mask
 			if (j-home)&m.mask >= (j-i)&m.mask {
 				m.table[i] = m.table[j]
+				m.keys[i] = m.keys[j]
 				i = j
 				break
 			}

@@ -131,3 +131,45 @@ func TestMSHRCompleteUnknownBlock(t *testing.T) {
 		t.Fatal("phantom entry")
 	}
 }
+
+// TestMSHRCollisionChains exercises the probe table's linear-probing
+// cluster maintenance over the dense key column: a pile of keys sharing
+// one home slot, completed in an order that forces backward-shift
+// deletion to move cluster members, must leave every survivor findable.
+func TestMSHRCollisionChains(t *testing.T) {
+	m := NewMSHR(8)
+	home := func(k uint64) uint64 { return (k * mshrHashMul) & m.mask }
+
+	// Collect 5 distinct keys whose home slot collides with key 1's.
+	keys := []uint64{1}
+	for k := uint64(2); len(keys) < 5; k++ {
+		if home(k) == home(1) {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		if !m.Register(k, nil) {
+			t.Fatalf("Register(%d) merged instead of allocating", k)
+		}
+	}
+	// Delete from the middle, then the head, so backward-shift must
+	// relocate later cluster members both times.
+	m.Complete(keys[2])
+	m.Complete(keys[0])
+	for i, k := range keys {
+		want := i != 0 && i != 2
+		if got := m.Outstanding(k); got != want {
+			t.Fatalf("Outstanding(%d) = %v, want %v", k, got, want)
+		}
+	}
+	// Survivors still merge (not re-allocate) and complete cleanly.
+	if m.Register(keys[1], nil) {
+		t.Fatal("survivor re-allocated: probe chain broken")
+	}
+	for _, i := range []int{1, 3, 4} {
+		m.Complete(keys[i])
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", m.Len())
+	}
+}

@@ -21,9 +21,10 @@ func (c *Cache) DirtyInLowRanks(set, k int) bool {
 	if !ok {
 		return false
 	}
+	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		e := c.at(set, w)
-		if c.valid(e) && e.dirty && r.Rank(set, w) < k {
+		i := base + w
+		if c.validAt(i) && c.dirty[i] != 0 && r.Rank(set, w) < k {
 			return true
 		}
 	}

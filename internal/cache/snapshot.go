@@ -5,25 +5,36 @@ import (
 	"dbisim/internal/stats"
 )
 
-// CacheState is a checkpoint of a Cache: the tag-store slab (with its
-// validity generation, so stale-slot semantics survive verbatim), the
-// statistics and the replacement policy state. The zero value is ready;
-// buffers are reused across captures. A CacheState only makes sense for
-// a cache of identical geometry — the system layer enforces that.
+// CacheState is a checkpoint of a Cache: the tag-store columns (with
+// their validity generation, so stale-slot semantics survive verbatim),
+// the statistics and the replacement policy state. The columns mirror
+// the live struct-of-arrays layout one-to-one, so capture and restore
+// are four flat copies. The zero value is ready; buffers are reused
+// across captures. A CacheState only makes sense for a cache of
+// identical geometry — the system layer enforces that.
 type CacheState struct {
-	gen    uint64
-	blocks []entry
-	stats  Stats
-	pol    replacement.PolicyState
+	gen     uint64
+	gens    []uint64
+	addrs   []uint64
+	dirty   []uint8
+	threads []int32
+	stats   Stats
+	pol     replacement.PolicyState
 }
 
 // Snapshot captures the cache into st.
 func (c *Cache) Snapshot(st *CacheState) {
 	st.gen = c.gen
-	if len(st.blocks) != len(c.blocks) {
-		st.blocks = make([]entry, len(c.blocks))
+	if len(st.gens) != len(c.gens) {
+		st.gens = make([]uint64, len(c.gens))
+		st.addrs = make([]uint64, len(c.addrs))
+		st.dirty = make([]uint8, len(c.dirty))
+		st.threads = make([]int32, len(c.threads))
 	}
-	copy(st.blocks, c.blocks)
+	copy(st.gens, c.gens)
+	copy(st.addrs, c.addrs)
+	copy(st.dirty, c.dirty)
+	copy(st.threads, c.threads)
 	st.stats = c.Stats
 	c.policy.Snapshot(&st.pol)
 }
@@ -33,7 +44,10 @@ func (c *Cache) Snapshot(st *CacheState) {
 // tag store is bitwise the captured one.
 func (c *Cache) Restore(st *CacheState) {
 	c.gen = st.gen
-	copy(c.blocks, st.blocks)
+	copy(c.gens, st.gens)
+	copy(c.addrs, st.addrs)
+	copy(c.dirty, st.dirty)
+	copy(c.threads, st.threads)
 	c.Stats = st.stats
 	c.policy.Restore(&st.pol)
 }
@@ -84,21 +98,22 @@ func (p *Port) Restore(st *PortState) {
 // included (copied into checkpoint-owned storage, reused across
 // captures).
 type mshrSlot struct {
-	block   uint64
 	next    int32
 	hasW    bool
 	waiters []func()
 }
 
 // MSHRState is a checkpoint of an MSHR file: the entry slab, the probe
-// table and the free-list head. Free-slot contents are saved too —
-// free-list link order is part of allocation behavior, and keeping it
-// exact is cheaper than arguing it doesn't matter.
+// table with its parallel key column and the free-list head. Free-slot
+// contents are saved too — free-list link order is part of allocation
+// behavior, and keeping it exact is cheaper than arguing it doesn't
+// matter.
 type MSHRState struct {
 	n        int
 	freeHead int32
 	slots    []mshrSlot
 	table    []int32
+	keys     []uint64
 }
 
 // Snapshot captures the MSHR into st.
@@ -110,14 +125,16 @@ func (m *MSHR) Snapshot(st *MSHRState) {
 	for i := range m.entries {
 		e := &m.entries[i]
 		s := &st.slots[i]
-		s.block, s.next = e.block, e.next
+		s.next = e.next
 		s.hasW = e.waiters != nil
 		s.waiters = append(s.waiters[:0], e.waiters...)
 	}
 	if len(st.table) != len(m.table) {
 		st.table = make([]int32, len(m.table))
+		st.keys = make([]uint64, len(m.keys))
 	}
 	copy(st.table, m.table)
+	copy(st.keys, m.keys)
 }
 
 // Restore writes st back, recycling or reattaching waiter slices so the
@@ -127,7 +144,7 @@ func (m *MSHR) Restore(st *MSHRState) {
 	for i := range m.entries {
 		e := &m.entries[i]
 		s := &st.slots[i]
-		e.block, e.next = s.block, s.next
+		e.next = s.next
 		switch {
 		case s.hasW:
 			if e.waiters == nil {
@@ -147,4 +164,5 @@ func (m *MSHR) Restore(st *MSHRState) {
 		}
 	}
 	copy(m.table, st.table)
+	copy(m.keys, st.keys)
 }

@@ -50,6 +50,20 @@ func BenchmarkDirtyBlocksInRegion(b *testing.B) {
 	}
 }
 
+// BenchmarkSetDirtyInto measures the allocation-free steady-state write
+// path the LLC uses: eviction block lists land in a recycled scratch
+// buffer instead of a fresh slice.
+func BenchmarkSetDirtyInto(b *testing.B) {
+	d := benchDBI(b)
+	var scratch []addr.BlockAddr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev, evicted := d.SetDirtyInto(addr.BlockAddr(i*37), scratch); evicted {
+			scratch = ev.Blocks
+		}
+	}
+}
+
 // BenchmarkClearDirty measures the cache-eviction path.
 func BenchmarkClearDirty(b *testing.B) {
 	d := benchDBI(b)

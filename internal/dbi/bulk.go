@@ -6,7 +6,9 @@ import "dbisim/internal/addr"
 // row-organized record of all dirty state, questions like "does this
 // DRAM row/bank hold dirty blocks", "flush everything" and "is any block
 // of this DMA range dirty" are answered with a handful of entry scans
-// instead of a full tag-store walk.
+// instead of a full tag-store walk. The scans walk the flat columns
+// directly: validity stamps first (one dense array), bit words only for
+// live entries.
 
 // RowHasDirty reports whether any block of the DRAM row is dirty
 // ("Does DRAM row R have any dirty blocks?").
@@ -16,7 +18,7 @@ func (d *DBI) RowHasDirty(r addr.RowID) bool {
 	perRow := d.geo.BlocksPerRow() / d.granularity
 	first := RegionID(uint64(r) * uint64(perRow))
 	for i := 0; i < perRow; i++ {
-		if e := d.find(first + RegionID(i)); e != nil && e.DirtyCount() > 0 {
+		if e := d.find(first + RegionID(i)); e >= 0 && d.dirtyCountOf(e) > 0 {
 			return true
 		}
 	}
@@ -28,12 +30,11 @@ func (d *DBI) RowHasDirty(r addr.RowID) bool {
 // write scheduling.
 func (d *DBI) BankHasDirty(bank int) bool {
 	d.Stat.Lookups.Inc()
-	for i := range d.entries {
-		e := &d.entries[i]
-		if !e.Valid || e.DirtyCount() == 0 {
+	for e := range d.stamps {
+		if !d.validAt(e) || d.dirtyCountOf(e) == 0 {
 			continue
 		}
-		base := uint64(e.Region) << d.regionShift
+		base := uint64(d.regions[e]) << d.regionShift
 		row := d.geo.RowOf(addr.BlockAddr(base))
 		if d.geo.BankOf(row) == bank {
 			return true
@@ -48,9 +49,9 @@ func (d *DBI) BankHasDirty(bank int) bool {
 func (d *DBI) AllDirtyBlocks() []addr.BlockAddr {
 	d.Stat.Lookups.Inc()
 	var out []addr.BlockAddr
-	for i := range d.entries {
-		if d.entries[i].Valid {
-			out = append(out, d.blocksOf(&d.entries[i])...)
+	for e := range d.stamps {
+		if d.validAt(e) {
+			out = d.blocksOfInto(e, out)
 		}
 	}
 	return out
@@ -62,9 +63,8 @@ func (d *DBI) AllDirtyBlocks() []addr.BlockAddr {
 // dirty.
 func (d *DBI) Flush() []Eviction {
 	var evs []Eviction
-	for i := range d.entries {
-		e := &d.entries[i]
-		if e.Valid {
+	for e := range d.stamps {
+		if d.validAt(e) {
 			evs = append(evs, d.evict(e, nil))
 		}
 	}
@@ -80,12 +80,12 @@ func (d *DBI) Flush() []Eviction {
 func (d *DBI) FlushRegionInto(b addr.BlockAddr, dst []addr.BlockAddr) []addr.BlockAddr {
 	d.Stat.Lookups.Inc()
 	e := d.find(d.RegionOf(b))
-	if e == nil {
+	if e < 0 {
 		return dst
 	}
 	dst = d.blocksOfInto(e, dst)
-	e.Valid = false
-	e.clearAll()
+	d.invalidate(e)
+	d.clearWords(e)
 	return dst
 }
 
@@ -99,7 +99,7 @@ func (d *DBI) DirtyInRange(lo, hi addr.BlockAddr) []addr.BlockAddr {
 	var out []addr.BlockAddr
 	for r := d.RegionOf(lo); r <= d.RegionOf(hi-1); r++ {
 		e := d.find(r)
-		if e == nil {
+		if e < 0 {
 			continue
 		}
 		for _, b := range d.blocksOf(e) {
@@ -117,17 +117,16 @@ func (d *DBI) DirtyInRange(lo, hi addr.BlockAddr) []addr.BlockAddr {
 // writes before flushing it during memory idle time.
 func (d *DBI) OldestDirtyRow() []addr.BlockAddr {
 	d.Stat.Lookups.Inc()
-	var best *Entry
-	for i := range d.entries {
-		e := &d.entries[i]
-		if !e.Valid || e.DirtyCount() == 0 {
+	best := -1
+	for e := range d.stamps {
+		if !d.validAt(e) || d.dirtyCountOf(e) == 0 {
 			continue
 		}
-		if best == nil || e.lastWrite < best.lastWrite {
+		if best < 0 || d.lastWrite[e] < d.lastWrite[best] {
 			best = e
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		return nil
 	}
 	return d.blocksOf(best)

@@ -22,6 +22,20 @@
 // Inserting into a full DBI set evicts another entry; the evicted entry's
 // dirty blocks must be written back to memory (a "DBI eviction",
 // Section 2.2.4), because the DBI is the only record of their dirtiness.
+//
+// # Storage layout
+//
+// The index is struct-of-arrays. There is no per-entry record and, in
+// particular, no per-entry heap-allocated bit vector: every entry's
+// dirty bits live in one flat backing array (entry i owns
+// words[i*wpe : (i+1)*wpe]), and the region tags, validity stamps and
+// replacement metadata each occupy their own dense column. The probe
+// loop touches only the stamp and region columns — for a 4-way set that
+// is 2×32 contiguous bytes — scanning the region tags first and
+// confirming the validity stamp only on a tag match. An entry is valid
+// iff its stamp equals the DBI's current generation (stamp 0 = never
+// valid), which is also what lets the simulator's Reset path invalidate
+// everything by bumping one counter.
 package dbi
 
 import (
@@ -40,33 +54,14 @@ import (
 // row ID.
 type RegionID uint64
 
-// Entry is one DBI entry: a valid bit, a region (row) tag and the dirty
-// bit vector. The replacement metadata lives alongside.
+// Entry is a value snapshot (view) of one DBI entry: the valid bit, the
+// region (row) tag and the population of the dirty bit vector. It is
+// how diagnostics and tests observe the columnar store; the store
+// itself holds no Entry records.
 type Entry struct {
 	Valid  bool
 	Region RegionID
-	bits   []uint64 // Granularity bits
-
-	lastWrite uint64 // LRW stamp; larger = more recently written
-	rwpv      uint8  // re-write prediction value (RWIP policy)
-}
-
-// DirtyCount returns the number of dirty blocks the entry tracks.
-func (e *Entry) DirtyCount() int {
-	n := 0
-	for _, w := range e.bits {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
-
-func (e *Entry) bit(i int) bool { return e.bits[i>>6]&(1<<(i&63)) != 0 }
-func (e *Entry) setBit(i int)   { e.bits[i>>6] |= 1 << (i & 63) }
-func (e *Entry) clearBit(i int) { e.bits[i>>6] &^= 1 << (i & 63) }
-func (e *Entry) clearAll() {
-	for i := range e.bits {
-		e.bits[i] = 0
-	}
+	Dirty  int // number of dirty blocks the entry tracks
 }
 
 // Eviction describes a DBI eviction: every listed block must be written
@@ -98,10 +93,24 @@ type DBI struct {
 	ways        int
 	granularity int
 	regionShift uint
-	entries     []Entry
-	clock       uint64
-	rng         *rand.Rand
-	src         rand.Source // rng's source, retained for state capture
+
+	gen uint64 // current validity generation (starts at 1; 0 = never valid)
+
+	// Hot probe plane: one stamp and one region tag per entry.
+	stamps  []uint64
+	regions []RegionID
+	// Replacement metadata columns.
+	lastWrite []uint64 // LRW stamp; larger = more recently written
+	rwpv      []uint8  // re-write prediction value (RWIP policy)
+	// words is the flat dirty-bit backing store: entry i owns
+	// words[i*wpe : (i+1)*wpe]. One allocation for the whole index —
+	// no per-entry slice headers, no pointer chase per probe.
+	words []uint64
+	wpe   int // words per entry: ceil(granularity/64)
+
+	clock uint64
+	rng   *rand.Rand
+	src   rand.Source // rng's source, retained for state capture
 
 	Stat Stats
 }
@@ -145,21 +154,25 @@ func New(opts ...Option) (*DBI, error) {
 		sets &= sets - 1
 	}
 	src := rand.NewSource(o.seed)
+	n := sets * prm.Associativity
+	wpe := (prm.Granularity + 63) / 64
 	d := &DBI{
 		geo:         geo,
 		prm:         prm,
 		sets:        sets,
 		ways:        prm.Associativity,
 		granularity: prm.Granularity,
-		entries:     make([]Entry, sets*prm.Associativity),
+		gen:         1,
+		stamps:      make([]uint64, n),
+		regions:     make([]RegionID, n),
+		lastWrite:   make([]uint64, n),
+		rwpv:        make([]uint8, n),
+		words:       make([]uint64, n*wpe),
+		wpe:         wpe,
 		rng:         rand.New(src),
 		src:         src,
 	}
 	d.regionShift = log2(uint64(prm.Granularity))
-	words := (prm.Granularity + 63) / 64
-	for i := range d.entries {
-		d.entries[i].bits = make([]uint64, words)
-	}
 	if prm.BIPEpsilonDen <= 0 {
 		d.prm.BIPEpsilonDen = 64
 	}
@@ -168,20 +181,13 @@ func New(opts ...Option) (*DBI, error) {
 }
 
 // Reset returns the DBI to power-on state for a new run with the given
-// seed, reusing every allocation. The entry array is small (a few
-// thousand entries at realistic α), so validity is cleared directly;
-// the caches' multi-megabyte tag stores are where generation stamps pay
-// off. Bit vectors and replacement metadata are zeroed too, so a reset
-// DBI is field-for-field the DBI New would build.
+// seed, reusing every allocation. Validity is a generation stamp, so
+// the whole index invalidates with one counter bump; the metadata
+// columns and bit words of stale entries are rewritten on their next
+// insert before any read path can observe them, which is what makes a
+// reset DBI behave bit-identically to the DBI New would build.
 func (d *DBI) Reset(seed int64) {
-	for i := range d.entries {
-		e := &d.entries[i]
-		e.Valid = false
-		e.Region = 0
-		e.lastWrite = 0
-		e.rwpv = 0
-		e.clearAll()
-	}
+	d.gen++
 	d.clock = 0
 	d.rng.Seed(seed)
 	st := &d.Stat
@@ -206,11 +212,11 @@ func (d *DBI) Sets() int { return d.sets }
 func (d *DBI) Ways() int { return d.ways }
 
 // Entries returns the total entry count.
-func (d *DBI) Entries() int { return len(d.entries) }
+func (d *DBI) Entries() int { return len(d.regions) }
 
 // TrackedBlocks returns the cumulative number of blocks the DBI can
 // track (entries × granularity) — the numerator of α.
-func (d *DBI) TrackedBlocks() int { return len(d.entries) * d.granularity }
+func (d *DBI) TrackedBlocks() int { return len(d.regions) * d.granularity }
 
 // Granularity returns blocks per entry.
 func (d *DBI) Granularity() int { return d.granularity }
@@ -235,18 +241,65 @@ func (d *DBI) setOf(r RegionID) int {
 	return int((h >> 32) & uint64(d.sets-1))
 }
 
-func (d *DBI) at(set, way int) *Entry { return &d.entries[set*d.ways+way] }
+// validAt reports whether entry e is live in the current generation.
+func (d *DBI) validAt(e int) bool { return d.stamps[e] == d.gen }
 
-// find locates the entry for a region without counting a lookup.
-func (d *DBI) find(r RegionID) *Entry {
-	set := d.setOf(r)
-	for w := 0; w < d.ways; w++ {
-		e := d.at(set, w)
-		if e.Valid && e.Region == r {
-			return e
+// invalidate marks entry e never-valid (stamp 0, like a fresh slot).
+func (d *DBI) invalidate(e int) { d.stamps[e] = 0 }
+
+// bit vector accessors over the flat backing store.
+func (d *DBI) bit(e, i int) bool { return d.words[e*d.wpe+(i>>6)]&(1<<(i&63)) != 0 }
+func (d *DBI) setBit(e, i int)   { d.words[e*d.wpe+(i>>6)] |= 1 << (i & 63) }
+func (d *DBI) clearBit(e, i int) { d.words[e*d.wpe+(i>>6)] &^= 1 << (i & 63) }
+func (d *DBI) clearWords(e int) {
+	w := d.words[e*d.wpe : (e+1)*d.wpe]
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// dirtyCountOf returns the bit-vector population of entry e, walking the
+// entry's words in the flat array directly.
+func (d *DBI) dirtyCountOf(e int) int {
+	n := 0
+	for _, w := range d.words[e*d.wpe : (e+1)*d.wpe] {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// find locates the entry index for a region without counting a lookup,
+// or returns -1. The way scan walks the dense region column with the
+// region tag as the primary compare (it is the selective one — the
+// stamp matches every live entry) and confirms validity only on a tag
+// match. Unlike the cache's 16-way probe plane, the DBI's hit
+// distribution is front-loaded (inserts fill way 0 first and sets are
+// sparsely occupied), so an early exit beats a fixed-trip branchless
+// scan here; the columnar layout still keeps the whole scan inside two
+// cache lines per column.
+func (d *DBI) find(r RegionID) int {
+	base := d.setOf(r) * d.ways
+	stamps := d.stamps[base : base+d.ways]
+	regions := d.regions[base : base+d.ways : base+d.ways]
+	key, gen := uint64(r), d.gen
+	for w := range regions {
+		if uint64(regions[w]) == key && stamps[w] == gen {
+			return base + w
 		}
 	}
-	return nil
+	return -1
+}
+
+// EntryAt exposes a value snapshot of the entry at (set, way) for
+// diagnostics and tests — the DBI-level replacement for the per-entry
+// accessors the columnar store no longer has. Invalid slots read as the
+// zero Entry regardless of their stale contents.
+func (d *DBI) EntryAt(set, way int) Entry {
+	e := set*d.ways + way
+	if !d.validAt(e) {
+		return Entry{}
+	}
+	return Entry{Valid: true, Region: d.regions[e], Dirty: d.dirtyCountOf(e)}
 }
 
 // IsDirty implements the DBI's defining query: the block is dirty iff a
@@ -254,7 +307,7 @@ func (d *DBI) find(r RegionID) *Entry {
 func (d *DBI) IsDirty(b addr.BlockAddr) bool {
 	d.Stat.Lookups.Inc()
 	e := d.find(d.RegionOf(b))
-	return e != nil && e.bit(d.offsetOf(b))
+	return e >= 0 && d.bit(e, d.offsetOf(b))
 }
 
 // SetDirty marks a block dirty (a writeback request arrived at the
@@ -276,47 +329,49 @@ func (d *DBI) SetDirtyInto(b addr.BlockAddr, scratch []addr.BlockAddr) (ev Evict
 	d.Stat.Writes.Inc()
 	d.clock++
 	r := d.RegionOf(b)
-	if e := d.find(r); e != nil {
-		e.setBit(d.offsetOf(b))
-		e.lastWrite = d.clock
-		e.rwpv = 0
+	if e := d.find(r); e >= 0 {
+		d.setBit(e, d.offsetOf(b))
+		d.lastWrite[e] = d.clock
+		d.rwpv[e] = 0
 		return Eviction{}, false
 	}
 	set := d.setOf(r)
 	way, victim := d.allocate(set)
-	if victim != nil {
+	if victim >= 0 {
 		ev = d.evict(victim, scratch[:0])
 		evicted = true
 	}
-	e := d.at(set, way)
-	e.Valid = true
-	e.Region = r
-	e.clearAll()
-	e.setBit(d.offsetOf(b))
+	e := set*d.ways + way
+	d.stamps[e] = d.gen
+	d.regions[e] = r
+	d.clearWords(e)
+	d.setBit(e, d.offsetOf(b))
 	d.insertMetadata(e)
 	d.Stat.EntryInserts.Inc()
 	return ev, evicted
 }
 
-// allocate picks a way in the set, returning the victim entry when a
-// valid entry must be displaced.
-func (d *DBI) allocate(set int) (way int, victim *Entry) {
+// allocate picks a way in the set, returning the victim entry index
+// (or -1) when a valid entry must be displaced.
+func (d *DBI) allocate(set int) (way, victim int) {
+	base := set * d.ways
 	for w := 0; w < d.ways; w++ {
-		if !d.at(set, w).Valid {
-			return w, nil
+		if !d.validAt(base + w) {
+			return w, -1
 		}
 	}
 	w := d.victimWay(set)
-	return w, d.at(set, w)
+	return w, base + w
 }
 
 // victimWay applies the configured DBI replacement policy (Section 4.3).
 func (d *DBI) victimWay(set int) int {
+	base := set * d.ways
 	switch d.prm.Replacement {
 	case config.DBILRW, config.DBILRWBIP:
-		best, bestStamp := 0, d.at(set, 0).lastWrite
+		best, bestStamp := 0, d.lastWrite[base]
 		for w := 1; w < d.ways; w++ {
-			if s := d.at(set, w).lastWrite; s < bestStamp {
+			if s := d.lastWrite[base+w]; s < bestStamp {
 				best, bestStamp = w, s
 			}
 		}
@@ -324,26 +379,26 @@ func (d *DBI) victimWay(set int) int {
 	case config.DBIRWIP:
 		for {
 			for w := 0; w < d.ways; w++ {
-				if d.at(set, w).rwpv >= 3 {
+				if d.rwpv[base+w] >= 3 {
 					return w
 				}
 			}
 			for w := 0; w < d.ways; w++ {
-				d.at(set, w).rwpv++
+				d.rwpv[base+w]++
 			}
 		}
 	case config.DBIMaxDirty:
-		best, bestN := 0, d.at(set, 0).DirtyCount()
+		best, bestN := 0, d.dirtyCountOf(base)
 		for w := 1; w < d.ways; w++ {
-			if n := d.at(set, w).DirtyCount(); n > bestN {
+			if n := d.dirtyCountOf(base + w); n > bestN {
 				best, bestN = w, n
 			}
 		}
 		return best
 	case config.DBIMinDirty:
-		best, bestN := 0, d.at(set, 0).DirtyCount()
+		best, bestN := 0, d.dirtyCountOf(base)
 		for w := 1; w < d.ways; w++ {
-			if n := d.at(set, w).DirtyCount(); n < bestN {
+			if n := d.dirtyCountOf(base + w); n < bestN {
 				best, bestN = w, n
 			}
 		}
@@ -353,48 +408,53 @@ func (d *DBI) victimWay(set int) int {
 }
 
 // insertMetadata initializes replacement metadata for a fresh entry.
-func (d *DBI) insertMetadata(e *Entry) {
+func (d *DBI) insertMetadata(e int) {
 	switch d.prm.Replacement {
 	case config.DBILRWBIP:
 		// Bimodal insertion: mostly insert at the LRW position so a
 		// single burst of writes to a cold row cannot displace the hot
 		// write working set.
 		if d.rng.Intn(d.prm.BIPEpsilonDen) != 0 {
-			e.lastWrite = 0
+			d.lastWrite[e] = 0
 			return
 		}
-		e.lastWrite = d.clock
+		d.lastWrite[e] = d.clock
 	case config.DBIRWIP:
-		e.rwpv = 2
-		e.lastWrite = d.clock
+		d.rwpv[e] = 2
+		d.lastWrite[e] = d.clock
 	default:
-		e.lastWrite = d.clock
+		d.lastWrite[e] = d.clock
 	}
 }
 
 // evict harvests the eviction's writeback list (appending into dst) and
 // invalidates the entry.
-func (d *DBI) evict(e *Entry, dst []addr.BlockAddr) Eviction {
-	ev := Eviction{Region: e.Region, Blocks: d.blocksOfInto(e, dst)}
+func (d *DBI) evict(e int, dst []addr.BlockAddr) Eviction {
+	ev := Eviction{Region: d.regions[e], Blocks: d.blocksOfInto(e, dst)}
 	d.Stat.Evictions.Inc()
 	d.Stat.EvictionBlocks.Add(uint64(len(ev.Blocks)))
 	d.Stat.DirtyAtEviction.Observe(len(ev.Blocks))
-	e.Valid = false
-	e.clearAll()
+	d.invalidate(e)
+	d.clearWords(e)
 	return ev
 }
 
 // blocksOf lists the dirty block addresses of an entry.
-func (d *DBI) blocksOf(e *Entry) []addr.BlockAddr {
+func (d *DBI) blocksOf(e int) []addr.BlockAddr {
 	return d.blocksOfInto(e, nil)
 }
 
-// blocksOfInto appends the entry's dirty block addresses to dst.
-func (d *DBI) blocksOfInto(e *Entry, dst []addr.BlockAddr) []addr.BlockAddr {
-	base := uint64(e.Region) << d.regionShift
-	for i := 0; i < d.granularity; i++ {
-		if e.bit(i) {
-			dst = append(dst, addr.BlockAddr(base|uint64(i)))
+// blocksOfInto appends the entry's dirty block addresses to dst, walking
+// the entry's words in the flat array and decoding set bits with
+// trailing-zero scans (word-at-a-time, not bit-at-a-time).
+func (d *DBI) blocksOfInto(e int, dst []addr.BlockAddr) []addr.BlockAddr {
+	base := uint64(d.regions[e]) << d.regionShift
+	for wi, w := range d.words[e*d.wpe : (e+1)*d.wpe] {
+		off := uint64(wi) << 6
+		for w != 0 {
+			i := uint64(bits.TrailingZeros64(w))
+			w &= w - 1
+			dst = append(dst, addr.BlockAddr(base|(off+i)))
 		}
 	}
 	return dst
@@ -407,16 +467,16 @@ func (d *DBI) blocksOfInto(e *Entry, dst []addr.BlockAddr) []addr.BlockAddr {
 func (d *DBI) ClearDirty(b addr.BlockAddr) bool {
 	d.Stat.Cleans.Inc()
 	e := d.find(d.RegionOf(b))
-	if e == nil {
+	if e < 0 {
 		return false
 	}
 	off := d.offsetOf(b)
-	if !e.bit(off) {
+	if !d.bit(e, off) {
 		return false
 	}
-	e.clearBit(off)
-	if e.DirtyCount() == 0 {
-		e.Valid = false
+	d.clearBit(e, off)
+	if d.dirtyCountOf(e) == 0 {
+		d.invalidate(e)
 	}
 	return true
 }
@@ -427,7 +487,7 @@ func (d *DBI) ClearDirty(b addr.BlockAddr) bool {
 func (d *DBI) DirtyBlocksInRegion(b addr.BlockAddr) []addr.BlockAddr {
 	d.Stat.Lookups.Inc()
 	e := d.find(d.RegionOf(b))
-	if e == nil {
+	if e < 0 {
 		return nil
 	}
 	return d.blocksOf(e)
@@ -439,7 +499,7 @@ func (d *DBI) DirtyBlocksInRegion(b addr.BlockAddr) []addr.BlockAddr {
 func (d *DBI) DirtyBlocksInRegionInto(b addr.BlockAddr, dst []addr.BlockAddr) []addr.BlockAddr {
 	d.Stat.Lookups.Inc()
 	e := d.find(d.RegionOf(b))
-	if e == nil {
+	if e < 0 {
 		return dst
 	}
 	return d.blocksOfInto(e, dst)
@@ -448,9 +508,9 @@ func (d *DBI) DirtyBlocksInRegionInto(b addr.BlockAddr, dst []addr.BlockAddr) []
 // DirtyCount returns the total number of dirty blocks tracked.
 func (d *DBI) DirtyCount() int {
 	n := 0
-	for i := range d.entries {
-		if d.entries[i].Valid {
-			n += d.entries[i].DirtyCount()
+	for e := range d.stamps {
+		if d.validAt(e) {
+			n += d.dirtyCountOf(e)
 		}
 	}
 	return n
@@ -475,8 +535,8 @@ func (d *DBI) RegisterMetrics(reg *telemetry.Registry) {
 // ValidEntries returns the number of valid entries.
 func (d *DBI) ValidEntries() int {
 	n := 0
-	for i := range d.entries {
-		if d.entries[i].Valid {
+	for e := range d.stamps {
+		if d.validAt(e) {
 			n++
 		}
 	}

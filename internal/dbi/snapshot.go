@@ -5,24 +5,21 @@ import (
 	"dbisim/internal/stats"
 )
 
-// entryState mirrors one DBI entry without its bit-vector slice; the
-// vectors of all entries are flattened into State.bits, so a checkpoint
-// is two flat arrays instead of thousands of small slices.
-type entryState struct {
-	valid     bool
-	region    RegionID
-	lastWrite uint64
-	rwpv      uint8
-}
-
-// State is a checkpoint of a DBI: entries, bit vectors, the LRW clock,
-// the rng and the statistics (histogram included). The zero value is
-// ready; buffers are reused across captures.
+// State is a checkpoint of a DBI. It mirrors the live struct-of-arrays
+// layout one-to-one — the validity-stamp, region, replacement-metadata
+// columns and the flat bit-word array — so a capture is five flat
+// copies, plus the LRW clock, the rng and the statistics (histogram
+// included). The zero value is ready; buffers are reused across
+// captures.
 type State struct {
-	entries []entryState
-	bits    []uint64
-	clock   uint64
-	rng     randstate.State
+	gen       uint64
+	stamps    []uint64
+	regions   []RegionID
+	lastWrite []uint64
+	rwpv      []uint8
+	words     []uint64
+	clock     uint64
+	rng       randstate.State
 
 	lookups, writes, cleans               stats.Counter
 	entryInserts, evictions, evictionBlks stats.Counter
@@ -31,21 +28,19 @@ type State struct {
 
 // Snapshot captures the DBI into st.
 func (d *DBI) Snapshot(st *State) {
-	if len(st.entries) != len(d.entries) {
-		st.entries = make([]entryState, len(d.entries))
+	if len(st.stamps) != len(d.stamps) {
+		st.stamps = make([]uint64, len(d.stamps))
+		st.regions = make([]RegionID, len(d.regions))
+		st.lastWrite = make([]uint64, len(d.lastWrite))
+		st.rwpv = make([]uint8, len(d.rwpv))
+		st.words = make([]uint64, len(d.words))
 	}
-	words := 0
-	if len(d.entries) > 0 {
-		words = len(d.entries[0].bits)
-	}
-	if len(st.bits) != len(d.entries)*words {
-		st.bits = make([]uint64, len(d.entries)*words)
-	}
-	for i := range d.entries {
-		e := &d.entries[i]
-		st.entries[i] = entryState{e.Valid, e.Region, e.lastWrite, e.rwpv}
-		copy(st.bits[i*words:(i+1)*words], e.bits)
-	}
+	st.gen = d.gen
+	copy(st.stamps, d.stamps)
+	copy(st.regions, d.regions)
+	copy(st.lastWrite, d.lastWrite)
+	copy(st.rwpv, d.rwpv)
+	copy(st.words, d.words)
 	st.clock = d.clock
 	randstate.MustSave(d.src, &st.rng)
 	s := &d.Stat
@@ -55,18 +50,17 @@ func (d *DBI) Snapshot(st *State) {
 }
 
 // Restore writes st back into the DBI that produced it (identical
-// parameters; the system layer enforces the geometry match).
+// parameters; the system layer enforces the geometry match). Every
+// column is restored verbatim — stale (older-generation) slots
+// included, which read paths never observe — so the index is bitwise
+// the captured one.
 func (d *DBI) Restore(st *State) {
-	words := 0
-	if len(d.entries) > 0 {
-		words = len(d.entries[0].bits)
-	}
-	for i := range d.entries {
-		e := &d.entries[i]
-		s := &st.entries[i]
-		e.Valid, e.Region, e.lastWrite, e.rwpv = s.valid, s.region, s.lastWrite, s.rwpv
-		copy(e.bits, st.bits[i*words:(i+1)*words])
-	}
+	d.gen = st.gen
+	copy(d.stamps, st.stamps)
+	copy(d.regions, st.regions)
+	copy(d.lastWrite, st.lastWrite)
+	copy(d.rwpv, st.rwpv)
+	copy(d.words, st.words)
 	d.clock = st.clock
 	randstate.MustRestore(d.src, &st.rng)
 	s := &d.Stat

@@ -1,0 +1,27 @@
+package event
+
+import "testing"
+
+// TestSteadyStateDoesNotAllocate pins the zero-allocation contract of
+// the scheduling hot paths after the sorted-list columnarization: the
+// chained schedule-fire loop, and the overflow path (insert beyond the
+// wheel horizon, refill, fire) once the column capacities have grown.
+func TestSteadyStateDoesNotAllocate(t *testing.T) {
+	var e Engine
+	if n := testing.AllocsPerRun(1000, func() {
+		e.After(3, func() {})
+		e.Step()
+	}); n != 0 {
+		t.Fatalf("schedule-fire chain allocates %.1f per op", n)
+	}
+
+	// Overflow steady state: each op parks one event past the 2^24
+	// horizon (sorted-list insert), then drains it (refill + fire).
+	const horizon = Cycle(1) << (wheelLevels * wheelBits)
+	if n := testing.AllocsPerRun(1000, func() {
+		e.At(e.Now()+horizon+5, func() {})
+		e.Step()
+	}); n != 0 {
+		t.Fatalf("overflow insert/refill allocates %.1f per op", n)
+	}
+}

@@ -32,3 +32,20 @@ func BenchmarkScheduleFanout(b *testing.B) {
 	}
 	e.Run()
 }
+
+// BenchmarkOverflowSchedule measures the far-future path: events beyond
+// the wheel horizon land in the columnar overflow list (binary-search
+// insert over the dense cycle/seq columns) and are refilled into the
+// wheel as the clock advances.
+func BenchmarkOverflowSchedule(b *testing.B) {
+	var e Engine
+	horizon := Cycle(1) << (wheelLevels * wheelBits)
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+horizon+Cycle(1+i%64), fn)
+		if e.Pending() >= 256 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

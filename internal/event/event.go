@@ -133,11 +133,82 @@ type Engine struct {
 	wheel     [wheelLevels][wheelSlots]bucket
 	occ       [wheelLevels][wheelWords]uint64
 
-	front    []*record // at < wheelBase, sorted by (at, seq)
-	overflow []*record // beyond the wheel horizon, sorted by (at, seq)
+	front    sortedList // at < wheelBase, sorted by (at, seq)
+	overflow sortedList // beyond the wheel horizon, sorted by (at, seq)
 
 	free    *record   // recycled event records
 	scratch []*record // reusable buffer for re-sorting flagged buckets
+}
+
+// sortedList is a sorted (at, seq) queue in struct-of-arrays form: the
+// sort keys live in their own dense columns, so the binary search and
+// the refill prefix scan read contiguous integers instead of chasing a
+// record pointer per comparison; the record pointers are the cold
+// payload column, touched only on insert and pop. Front and overflow
+// lists are short in practice (front only exists after cascades outran
+// the clock; overflow holds coarse far-out events like telemetry
+// epochs), so the insertion copies are cheap and the column capacities
+// are reused across the run.
+type sortedList struct {
+	at   []Cycle
+	seq  []uint64
+	recs []*record
+}
+
+func (q *sortedList) len() int { return len(q.recs) }
+
+// insert places r by binary search over the key columns.
+func (q *sortedList) insert(r *record) {
+	lo, hi := 0, len(q.recs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.at[mid] < r.at || (q.at[mid] == r.at && q.seq[mid] < r.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.at = append(q.at, 0)
+	copy(q.at[lo+1:], q.at[lo:])
+	q.at[lo] = r.at
+	q.seq = append(q.seq, 0)
+	copy(q.seq[lo+1:], q.seq[lo:])
+	q.seq[lo] = r.seq
+	q.recs = append(q.recs, nil)
+	copy(q.recs[lo+1:], q.recs[lo:])
+	q.recs[lo] = r
+}
+
+// popFront removes and returns the earliest record.
+func (q *sortedList) popFront() *record {
+	r := q.recs[0]
+	q.dropFront(1)
+	return r
+}
+
+// dropFront removes the first n elements from all three columns.
+func (q *sortedList) dropFront(n int) {
+	m := copy(q.at, q.at[n:])
+	q.at = q.at[:m]
+	copy(q.seq, q.seq[n:])
+	q.seq = q.seq[:m]
+	copy(q.recs, q.recs[n:])
+	for i := m; i < len(q.recs); i++ {
+		q.recs[i] = nil
+	}
+	q.recs = q.recs[:m]
+}
+
+// drain recycles every queued record through fn and empties the list,
+// retaining the column capacities.
+func (q *sortedList) drain(fn func(*record)) {
+	for i, r := range q.recs {
+		fn(r)
+		q.recs[i] = nil
+	}
+	q.at = q.at[:0]
+	q.seq = q.seq[:0]
+	q.recs = q.recs[:0]
 }
 
 // Now returns the current simulated cycle.
@@ -200,16 +271,8 @@ func (e *Engine) Reset() {
 			e.occ[level][w] = 0
 		}
 	}
-	for i, r := range e.front {
-		e.recycle(r)
-		e.front[i] = nil
-	}
-	e.front = e.front[:0]
-	for i, r := range e.overflow {
-		e.recycle(r)
-		e.overflow[i] = nil
-	}
-	e.overflow = e.overflow[:0]
+	e.front.drain(e.recycle)
+	e.overflow.drain(e.recycle)
 	e.now, e.seq, e.fired = 0, 0, 0
 	e.pending, e.stopped, e.wheelBase = 0, false, 0
 }
@@ -239,7 +302,7 @@ func (e *Engine) recycle(r *record) {
 // place routes a record to the front list, a wheel slot, or the overflow.
 func (e *Engine) place(r *record) {
 	if r.at < e.wheelBase {
-		e.front = insertSorted(e.front, r)
+		e.front.insert(r)
 		return
 	}
 	e.placeWheel(r)
@@ -257,41 +320,13 @@ func (e *Engine) placeWheel(r *record) {
 	case r.at>>(3*wheelBits) == base>>(3*wheelBits):
 		e.push(2, int(r.at>>(2*wheelBits))&wheelMask, r)
 	default:
-		e.overflow = insertSorted(e.overflow, r)
+		e.overflow.insert(r)
 	}
 }
 
 func (e *Engine) push(level, slot int, r *record) {
 	e.wheel[level][slot].append(r)
 	e.occ[level][slot>>6] |= 1 << (uint(slot) & 63)
-}
-
-func recordLess(a, b *record) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-// insertSorted inserts r into s keeping (at, seq) order, via binary
-// search. Front and overflow lists are short in practice (front only
-// exists after cascades outran the clock; overflow holds coarse far-out
-// events like telemetry epochs), so the copy is cheap and the slice
-// capacity is reused across the run.
-func insertSorted(s []*record, r *record) []*record {
-	lo, hi := 0, len(s)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if recordLess(s[mid], r) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	s = append(s, nil)
-	copy(s[lo+1:], s[lo:])
-	s[lo] = r
-	return s
 }
 
 // firstOccupied returns the lowest occupied slot index at the given
@@ -329,12 +364,8 @@ func (e *Engine) pop() *record {
 // global (at, seq) minimum.
 func (e *Engine) popAny() *record {
 	for {
-		if n := len(e.front); n > 0 {
-			r := e.front[0]
-			copy(e.front, e.front[1:])
-			e.front[n-1] = nil
-			e.front = e.front[:n-1]
-			return r
+		if e.front.len() > 0 {
+			return e.front.popFront()
 		}
 		if slot := e.firstOccupied(0); slot >= 0 {
 			return e.takeHead(slot)
@@ -349,7 +380,7 @@ func (e *Engine) popAny() *record {
 			e.cascade(2, slot)
 			continue
 		}
-		if len(e.overflow) > 0 {
+		if e.overflow.len() > 0 {
 			e.refill()
 			continue
 		}
@@ -375,22 +406,19 @@ func (e *Engine) cascade(level, slot int) {
 
 // refill advances wheelBase to the first overflow record's window and
 // moves every overflow record sharing that top-level window into the
-// (entirely empty) wheel.
+// (entirely empty) wheel. The prefix scan runs over the dense at column
+// alone — no record is touched until it is actually re-placed.
 func (e *Engine) refill() {
-	top := e.overflow[0].at >> (wheelLevels * wheelBits)
-	e.wheelBase = e.overflow[0].at &^ wheelMask
+	top := e.overflow.at[0] >> (wheelLevels * wheelBits)
+	e.wheelBase = e.overflow.at[0] &^ wheelMask
 	n := 0
-	for n < len(e.overflow) && e.overflow[n].at>>(wheelLevels*wheelBits) == top {
+	for n < e.overflow.len() && e.overflow.at[n]>>(wheelLevels*wheelBits) == top {
 		n++
 	}
-	for _, r := range e.overflow[:n] {
+	for _, r := range e.overflow.recs[:n] {
 		e.placeWheel(r)
 	}
-	m := copy(e.overflow, e.overflow[n:])
-	for i := m; i < len(e.overflow); i++ {
-		e.overflow[i] = nil
-	}
-	e.overflow = e.overflow[:m]
+	e.overflow.dropFront(n)
 }
 
 // takeHead pops the head of a level-0 slot, re-sorting the bucket by

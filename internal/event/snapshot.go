@@ -44,7 +44,7 @@ func (e *Engine) Snapshot(st *EngineState) {
 			st.events = append(st.events, eventState{r.at, r.seq, r.fn})
 		}
 	}
-	for _, r := range e.front {
+	for _, r := range e.front.recs {
 		add(r)
 	}
 	for level := 0; level < wheelLevels; level++ {
@@ -59,7 +59,7 @@ func (e *Engine) Snapshot(st *EngineState) {
 			}
 		}
 	}
-	for _, r := range e.overflow {
+	for _, r := range e.overflow.recs {
 		add(r)
 	}
 }

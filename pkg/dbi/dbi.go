@@ -20,6 +20,11 @@
 //   - Sharded: rows hashed across N lock-striped cores. A whole row
 //     always lands in one shard, so row queries and flushes stay
 //     single-lock and the AWB batch never spans shards.
+//
+// Both inherit the core's struct-of-arrays layout: row entries live in
+// dense region/stamp probe columns and all dirty bits in one flat
+// backing array, so the steady-state SetDirty/IsDirty/row-query paths
+// touch a couple of cache lines and allocate nothing (DESIGN.md §12).
 package dbi
 
 import (
